@@ -1,0 +1,10 @@
+"""Benchmark: ablations — counter modes, excluded predictors, memory-side
+rankings (reproduction extension)."""
+
+from repro.experiments import ablation
+
+from conftest import run_and_report
+
+
+def bench_ablation(benchmark):
+    run_and_report(benchmark, ablation.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 1: ROB-head blocking under FR-FCFS."""
+
+from repro.experiments import fig1
+
+from conftest import run_and_report
+
+
+def bench_fig1(benchmark):
+    run_and_report(benchmark, fig1.run)

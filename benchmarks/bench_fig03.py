@@ -1,0 +1,9 @@
+"""Benchmark: Figure 3: Binary criticality + CBP size sweep."""
+
+from repro.experiments import fig3
+
+from conftest import run_and_report
+
+
+def bench_fig3(benchmark):
+    run_and_report(benchmark, fig3.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 4: ranked criticality metrics."""
+
+from repro.experiments import fig4
+
+from conftest import run_and_report
+
+
+def bench_fig4(benchmark):
+    run_and_report(benchmark, fig4.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 5: MaxStallTime table-size sweep."""
+
+from repro.experiments import fig5
+
+from conftest import run_and_report
+
+
+def bench_fig5(benchmark):
+    run_and_report(benchmark, fig5.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 6: per-class L2-miss latency."""
+
+from repro.experiments import fig6
+
+from conftest import run_and_report
+
+
+def bench_fig6(benchmark):
+    run_and_report(benchmark, fig6.run)

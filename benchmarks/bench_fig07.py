@@ -1,0 +1,9 @@
+"""Benchmark: Figure 7: criticality with an L2 stream prefetcher."""
+
+from repro.experiments import fig7
+
+from conftest import run_and_report
+
+
+def bench_fig7(benchmark):
+    run_and_report(benchmark, fig7.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 8: rank sweep, DDR3-1600/2133."""
+
+from repro.experiments import fig8
+
+from conftest import run_and_report
+
+
+def bench_fig8(benchmark):
+    run_and_report(benchmark, fig8.run)

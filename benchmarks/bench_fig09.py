@@ -1,0 +1,9 @@
+"""Benchmark: Figure 9: load-queue size sweep."""
+
+from repro.experiments import fig9
+
+from conftest import run_and_report
+
+
+def bench_fig9(benchmark):
+    run_and_report(benchmark, fig9.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 10: state-of-the-art scheduler comparison."""
+
+from repro.experiments import fig10
+
+from conftest import run_and_report
+
+
+def bench_fig10(benchmark):
+    run_and_report(benchmark, fig10.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 11: MORSE-P commands-checked sweep."""
+
+from repro.experiments import fig11
+
+from conftest import run_and_report
+
+
+def bench_fig11(benchmark):
+    run_and_report(benchmark, fig11.run)

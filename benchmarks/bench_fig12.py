@@ -1,0 +1,9 @@
+"""Benchmark: Figure 12: multiprogrammed weighted speedups."""
+
+from repro.experiments import fig12
+
+from conftest import run_and_report
+
+
+def bench_fig12(benchmark):
+    run_and_report(benchmark, fig12.run)

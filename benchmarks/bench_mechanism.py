@@ -1,0 +1,9 @@
+"""Benchmark: Mechanism validation (extension)."""
+
+from repro.experiments import mechanism
+
+from conftest import run_and_report
+
+
+def bench_mechanism(benchmark):
+    run_and_report(benchmark, mechanism.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Section 5.1: naive forwarding."""
+
+from repro.experiments import naive
+
+from conftest import run_and_report
+
+
+def bench_naive(benchmark):
+    run_and_report(benchmark, naive.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Section 5.7: storage overhead."""
+
+from repro.experiments import overhead
+
+from conftest import run_and_report
+
+
+def bench_overhead(benchmark):
+    run_and_report(benchmark, overhead.run)

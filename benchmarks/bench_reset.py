@@ -1,0 +1,9 @@
+"""Benchmark: Section 5.3.2: table reset intervals."""
+
+from repro.experiments import reset
+
+from conftest import run_and_report
+
+
+def bench_reset(benchmark):
+    run_and_report(benchmark, reset.run)

@@ -1,0 +1,9 @@
+"""Benchmark: Table 5: criticality counter widths."""
+
+from repro.experiments import table5
+
+from conftest import run_and_report
+
+
+def bench_table5(benchmark):
+    run_and_report(benchmark, table5.run)

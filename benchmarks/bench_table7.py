@@ -1,0 +1,9 @@
+"""Benchmark: Table 7: scheduler comparison summary."""
+
+from repro.experiments import table7
+
+from conftest import run_and_report
+
+
+def bench_table7(benchmark):
+    run_and_report(benchmark, table7.run)

@@ -1,0 +1,26 @@
+"""Benchmark harness support.
+
+Each bench regenerates one paper figure/table via the experiment modules,
+times the full regeneration, prints the rows, and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can be assembled from a bench
+run.  Scale knobs: REPRO_INSTRUCTIONS (default 12000), REPRO_SEEDS
+(default 1), REPRO_APPS (subset of parallel apps).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_report(benchmark, run_fn, **kwargs):
+    """Time one full experiment regeneration and persist its table."""
+    result = benchmark.pedantic(
+        lambda: run_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.table()
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return result

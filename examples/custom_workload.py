@@ -1,0 +1,97 @@
+"""Building custom workloads and schedulers against the public API.
+
+Constructs hand-written traces — one latency-bound pointer-walking core
+sharing a single memory channel with a bandwidth-bound store-streaming
+core — and compares FR-FCFS against both criticality arrangements, plus a
+user-defined scheduler subclass, reproducing the repository's "mechanism
+validation" experiment from first principles.
+
+    python examples/custom_workload.py
+"""
+
+from repro import DramConfig, System, SystemConfig
+from repro.cpu.instruction import INT, LOAD, STORE, Trace
+from repro.sched.base import Scheduler
+from repro.sched.registry import SCHEDULERS
+
+N = 20_000
+
+
+def pointer_walk(core_id: int) -> Trace:
+    """Sparse dependent misses: each gates ~120 instructions of work."""
+    trace = Trace("pointer-walk")
+    addr = (core_id + 1) << 36
+    while len(trace) < N:
+        for i in range(120):
+            trace.append(INT, 1000 + (i % 32), 0, 1 if i else 0)
+        trace.append(LOAD, 2000, addr, 0)
+        trace.append(INT, 2001, 0, 1)
+        addr += (1 << 14) + 1024
+    return trace
+
+
+def store_stream(core_id: int) -> Trace:
+    """memset-like line-granular store stream: pure bandwidth."""
+    trace = Trace("store-stream")
+    addr = (core_id + 1) << 36 | (1 << 35)
+    k = 0
+    while len(trace) < N:
+        trace.append(STORE, 3000 + (k % 8), addr, 0)
+        for i in range(4):
+            trace.append(INT, 4000 + i, 0, 1 if i else 0)
+        addr += 64
+        k += 1
+    return trace
+
+
+class RandomishScheduler(Scheduler):
+    """A deliberately bad policy: rotate over candidates.
+
+    Demonstrates the scheduler plug-in surface: subclass
+    :class:`repro.sched.base.Scheduler`, implement ``select``, register it.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self):
+        self._turn = 0
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        if not candidates:
+            return None
+        self._turn = (self._turn + 1) % len(candidates)
+        return candidates[self._turn]
+
+
+def run(scheduler: str):
+    config = SystemConfig(cores=2, dram=DramConfig(channels=1))
+    system = System(
+        config,
+        [pointer_walk(0), store_stream(1)],
+        scheduler=scheduler,
+        provider_spec=("cbp", {"entries": None}),
+    )
+    return system.run(max_cycles=20_000_000)
+
+
+def main():
+    SCHEDULERS.setdefault("roundrobin", RandomishScheduler)
+    base = run("fr-fcfs")
+    print(f"{'scheduler':<14} {'walker cycles':>14} {'streamer cycles':>16}")
+    for name in ("fr-fcfs", "casras-crit", "crit-casras", "roundrobin"):
+        r = base if name == "fr-fcfs" else run(name)
+        mark = ""
+        if name != "fr-fcfs":
+            mark = f"  (walker speedup {base.finish_cycles[0] / r.finish_cycles[0]:.3f}x)"
+        print(f"{name:<14} {r.finish_cycles[0]:>14,} {r.finish_cycles[1]:>16,}{mark}")
+    print(
+        "\nCrit-CASRAS may preempt the streamer's row-hit trains for the "
+        "walker's critical misses; CASRAS-Crit never interrupts a column "
+        "burst.  The round-robin strawman shows how much FR-FCFS's row "
+        "locality is worth."
+    )
+
+
+if __name__ == "__main__":
+    main()

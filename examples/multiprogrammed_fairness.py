@@ -1,0 +1,57 @@
+"""Multiprogrammed throughput and fairness (paper Section 5.8.2).
+
+Runs one Table 4 four-application bundle on the 4-core / 2-channel
+machine under PAR-BS, TCM, and criticality-aware scheduling, and reports
+weighted speedup (throughput) and maximum slowdown (fairness), both
+normalised against each application running alone under PAR-BS.
+
+    python examples/multiprogrammed_fairness.py [bundle]
+"""
+
+import sys
+
+from repro import (
+    BUNDLES,
+    SimScale,
+    maximum_slowdown,
+    run_application_alone,
+    run_multiprogrammed_workload,
+    weighted_speedup,
+)
+
+SCALE = SimScale(instructions_per_core=10_000, warmup_instructions=1_000)
+
+SCHEDULERS = [
+    ("PAR-BS", "par-bs", None, None),
+    ("TCM", "tcm", None, {"threads": 4}),
+    ("FR-FCFS", "fr-fcfs", None, None),
+    ("MaxStallTime CBP", "casras-crit", ("cbp", {"entries": 64}), None),
+    ("TCM+MaxStallTime", "tcm+crit", ("cbp", {"entries": 64}), {"threads": 4}),
+]
+
+
+def main():
+    bundle = sys.argv[1] if len(sys.argv) > 1 else "RFGI"
+    apps = BUNDLES[bundle]
+    print(f"Bundle {bundle}: {', '.join(apps)} (4 cores, 2 channels)\n")
+
+    print("Measuring alone-run IPCs (weighted-speedup denominators) ...")
+    alone = []
+    for slot in range(4):
+        result = run_application_alone(bundle, slot, scale=SCALE)
+        alone.append(result.core_ipc(slot))
+        print(f"  {apps[slot]:<8} alone IPC {alone[slot]:.3f}")
+
+    print()
+    for name, scheduler, spec, kwargs in SCHEDULERS:
+        result = run_multiprogrammed_workload(
+            bundle, scheduler=scheduler, provider_spec=spec,
+            scheduler_kwargs=kwargs, scale=SCALE,
+        )
+        ws = weighted_speedup(result, alone)
+        ms = maximum_slowdown(result, alone)
+        print(f"{name:<18} weighted speedup {ws:5.3f}   max slowdown {ms:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scheduler shoot-out: every implemented policy on one parallel workload.
+
+Compares FCFS, FR-FCFS, both criticality arrangements, AHB, PAR-BS, TCM,
+TCM+Crit, MORSE-P and Crit-RL on the `mg` multigrid workload — the
+Figure 10 cast plus the baselines.
+
+    python examples/scheduler_shootout.py [app]
+"""
+
+import sys
+
+from repro import SimScale, run_parallel_workload, speedup
+
+SCALE = SimScale(instructions_per_core=10_000, warmup_instructions=1_000)
+
+CBP = ("cbp", {"entries": 64})
+
+CONTENDERS = [
+    ("FCFS", "fcfs", None, None),
+    ("FR-FCFS", "fr-fcfs", None, None),
+    ("Crit-CASRAS + MaxStall CBP", "crit-casras", CBP, None),
+    ("CASRAS-Crit + MaxStall CBP", "casras-crit", CBP, None),
+    ("AHB (Hur/Lin)", "ahb", None, None),
+    ("PAR-BS", "par-bs", None, None),
+    ("TCM", "tcm", None, {"threads": 8}),
+    ("TCM + MaxStall CBP", "tcm+crit", CBP, {"threads": 8}),
+    ("MORSE-P", "morse-p", None, {"commands_checked": 24}),
+    ("Crit-RL", "crit-rl", CBP, {"commands_checked": 24}),
+]
+
+
+def main():
+    app = sys.argv[1] if len(sys.argv) > 1 else "mg"
+    print(f"Workload: {app} (8 threads), Table 1/3 machine\n")
+    base = run_parallel_workload(app, scheduler="fr-fcfs", scale=SCALE)
+    width = max(len(name) for name, *_ in CONTENDERS)
+    for name, scheduler, spec, kwargs in CONTENDERS:
+        result = run_parallel_workload(
+            app, scheduler=scheduler, provider_spec=spec,
+            scheduler_kwargs=kwargs, scale=SCALE,
+        )
+        row_hits = sum(c.row_hit_reads for c in result.channels)
+        reads = max(1, sum(c.reads_done for c in result.channels))
+        print(
+            f"{name:<{width}}  speedup {speedup(base, result):6.3f}x  "
+            f"IPC {result.system_ipc:5.2f}  row-hit {row_hits / reads:5.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Sensitivity sweep with ASCII charts (paper Section 5.6 style).
+
+Sweeps DRAM device speed and rank count for baseline FR-FCFS and the
+MaxStallTime criticality scheduler, rendering the results as text bar
+charts via :mod:`repro.sim.report`.
+
+    python examples/sensitivity_sweep.py
+"""
+
+from repro import (
+    DDR3_1066,
+    DDR3_1600,
+    DDR3_2133,
+    DramConfig,
+    SimScale,
+    SystemConfig,
+    run_parallel_workload,
+)
+from repro.experiments.common import ExperimentResult
+from repro.sim.report import bar_chart
+
+SCALE = SimScale(instructions_per_core=8_000, warmup_instructions=800)
+APP = "mg"
+
+
+def run_point(timings, ranks, scheduler, spec=None):
+    config = SystemConfig(
+        dram=DramConfig(timings=timings, ranks_per_channel=ranks)
+    )
+    return run_parallel_workload(
+        APP, scheduler=scheduler, provider_spec=spec, config=config,
+        scale=SCALE,
+    )
+
+
+def main():
+    rows = []
+    slowest = None
+    for timings in (DDR3_1066, DDR3_1600, DDR3_2133):
+        for ranks in (1, 4):
+            base = run_point(timings, ranks, "fr-fcfs")
+            crit = run_point(timings, ranks, "casras-crit",
+                             ("cbp", {"entries": 64}))
+            if slowest is None:
+                slowest = base.cycles  # 1066 single-rank FR-FCFS
+            rows.append({
+                "config": f"{timings.name} x{ranks} FR-FCFS",
+                "speedup": slowest / base.cycles,
+            })
+            rows.append({
+                "config": f"{timings.name} x{ranks} MaxStall",
+                "speedup": slowest / crit.cycles,
+            })
+    result = ExperimentResult(
+        "sweep", f"Device/rank sweep on {APP} (vs slowest baseline)",
+        ["config", "speedup"], rows,
+    )
+    print(result.table())
+    print()
+    print(bar_chart(result, "config", "speedup", width=36))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: reproduction of "Improving Memory Scheduling via Processor-Side
+Load Criticality Information" (Ghose, Lee & Martínez, ISCA 2013).
+
+Public API quick tour::
+
+    from repro import (
+        SystemConfig, SimScale,
+        run_parallel_workload, speedup,
+    )
+
+    base = run_parallel_workload("fft", scheduler="fr-fcfs")
+    crit = run_parallel_workload(
+        "fft", scheduler="casras-crit",
+        provider_spec=("cbp", {"entries": 64}),
+    )
+    print(speedup(base, crit))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.config import (
+    DDR3_1066,
+    DDR3_1600,
+    DDR3_2133,
+    DEFAULT_SCALE,
+    TINY_SCALE,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    DramTimings,
+    PrefetcherConfig,
+    SimScale,
+    SystemConfig,
+)
+from repro.core import (
+    CasRasCritScheduler,
+    CbpMetric,
+    CbpProvider,
+    ClptProvider,
+    CommitBlockPredictor,
+    CritCasRasScheduler,
+    CriticalLoadPredictionTable,
+    NaiveForwardingProvider,
+)
+from repro.sched import SCHEDULERS, make_scheduler_factory
+from repro.sim import System
+from repro.sim.runner import (
+    parallel_average_speedup,
+    run_application_alone,
+    run_multiprogrammed_workload,
+    run_parallel_workload,
+)
+from repro.sim.stats import SimResult, maximum_slowdown, speedup, weighted_speedup
+from repro.workloads import BUNDLES, PARALLEL_APP_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUNDLES",
+    "CacheConfig",
+    "CasRasCritScheduler",
+    "CbpMetric",
+    "CbpProvider",
+    "ClptProvider",
+    "CommitBlockPredictor",
+    "CoreConfig",
+    "CritCasRasScheduler",
+    "CriticalLoadPredictionTable",
+    "DDR3_1066",
+    "DDR3_1600",
+    "DDR3_2133",
+    "DEFAULT_SCALE",
+    "DramConfig",
+    "DramTimings",
+    "NaiveForwardingProvider",
+    "PARALLEL_APP_NAMES",
+    "PrefetcherConfig",
+    "SCHEDULERS",
+    "SimResult",
+    "SimScale",
+    "System",
+    "SystemConfig",
+    "TINY_SCALE",
+    "make_scheduler_factory",
+    "maximum_slowdown",
+    "parallel_average_speedup",
+    "run_application_alone",
+    "run_multiprogrammed_workload",
+    "run_parallel_workload",
+    "speedup",
+    "weighted_speedup",
+]

@@ -1,0 +1,104 @@
+"""Command-line interface.
+
+    python -m repro list                       # workloads, schedulers, experiments
+    python -m repro run fft --scheduler casras-crit --cbp 64
+    python -m repro experiment fig4 [--markdown] [--csv]
+    python -m repro experiment all             # regenerate everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.sched.registry import SCHEDULERS
+    from repro.workloads.multiprog import BUNDLES
+    from repro.workloads.parallel import PARALLEL_APP_NAMES
+
+    print("Parallel workloads :", ", ".join(PARALLEL_APP_NAMES))
+    print("Bundles            :", ", ".join(sorted(BUNDLES)))
+    print("Schedulers         :", ", ".join(sorted(SCHEDULERS)))
+    print("Experiments        :", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.config import SimScale
+    from repro.sim.runner import run_parallel_workload
+    from repro.sim.stats import speedup
+
+    scale = SimScale(
+        instructions_per_core=args.instructions,
+        warmup_instructions=max(200, args.instructions // 10),
+        seed=args.seed,
+    )
+    spec = ("cbp", {"entries": args.cbp}) if args.cbp else None
+    base = run_parallel_workload(args.app, scale=scale)
+    result = run_parallel_workload(
+        args.app, scheduler=args.scheduler, provider_spec=spec, scale=scale
+    )
+    print(f"{args.app} / fr-fcfs      : {base.cycles:,} cycles "
+          f"(IPC {base.system_ipc:.2f})")
+    print(f"{args.app} / {args.scheduler:<12}: {result.cycles:,} cycles "
+          f"(IPC {result.system_ipc:.2f})")
+    print(f"speedup: {speedup(base, result):.3f}x")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.sim.report import to_csv, to_markdown
+
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        if args.markdown:
+            print(to_markdown(result))
+        elif args.csv:
+            print(to_csv(result), end="")
+        else:
+            print(result.table())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Criticality-aware memory scheduling (ISCA 2013) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schedulers, experiments")
+
+    run_p = sub.add_parser("run", help="run one parallel workload")
+    run_p.add_argument("app")
+    run_p.add_argument("--scheduler", default="casras-crit")
+    run_p.add_argument("--cbp", type=int, default=64,
+                       help="CBP entries (0 disables the predictor)")
+    run_p.add_argument("--instructions", type=int, default=12_000)
+    run_p.add_argument("--seed", type=int, default=1)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
+    exp_p.add_argument("id", help="experiment id (e.g. fig4) or 'all'")
+    exp_p.add_argument("--markdown", action="store_true")
+    exp_p.add_argument("--csv", action="store_true")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

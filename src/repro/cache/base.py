@@ -1,0 +1,94 @@
+"""Set-associative cache array with true-LRU replacement."""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+
+
+class CacheLine:
+    """One resident line: coherence state, dirtiness, recency."""
+
+    __slots__ = ("state", "dirty", "lru")
+
+    def __init__(self, state: str = "S", dirty: bool = False, lru: int = 0):
+        self.state = state
+        self.dirty = dirty
+        self.lru = lru
+
+
+class SetAssociativeCache:
+    """Tag array + LRU state.  Addresses are byte addresses; the cache
+    computes its own line/set decomposition from its configuration."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.line_bytes = config.line_bytes
+        self.ways = config.ways
+        self.num_sets = config.sets
+        if self.num_sets <= 0:
+            raise ValueError(f"degenerate cache geometry: {config}")
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- address helpers -----------------------------------------------------
+
+    def line_addr(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, address: int, touch: bool = True) -> CacheLine | None:
+        """Return the resident line covering ``address``, if any."""
+        line_addr = self.line_addr(address)
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        if touch:
+            self._clock += 1
+            line.lru = self._clock
+        self.hits += 1
+        return line
+
+    def peek(self, address: int) -> CacheLine | None:
+        """Lookup without touching LRU or hit/miss counters."""
+        line_addr = self.line_addr(address)
+        return self._sets[self._set_index(line_addr)].get(line_addr)
+
+    def insert(
+        self, address: int, state: str = "S", dirty: bool = False
+    ) -> tuple[int, CacheLine] | None:
+        """Install the line covering ``address``.
+
+        Returns the evicted ``(line_addr, CacheLine)`` pair if a victim had
+        to make room, else None.  Inserting an already-resident line just
+        refreshes it.
+        """
+        line_addr = self.line_addr(address)
+        cache_set = self._sets[self._set_index(line_addr)]
+        self._clock += 1
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.state = state
+            existing.dirty = existing.dirty or dirty
+            existing.lru = self._clock
+            return None
+        victim = None
+        if len(cache_set) >= self.ways:
+            victim_addr = min(cache_set, key=lambda a: cache_set[a].lru)
+            victim = (victim_addr, cache_set.pop(victim_addr))
+        cache_set[line_addr] = CacheLine(state=state, dirty=dirty, lru=self._clock)
+        return victim
+
+    def invalidate(self, address: int) -> CacheLine | None:
+        """Remove the line covering ``address``; returns it if present."""
+        line_addr = self.line_addr(address)
+        return self._sets[self._set_index(line_addr)].pop(line_addr, None)
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,489 @@
+"""Two-level cache hierarchy with MSI coherence, feeding the DRAM model.
+
+Timing model (CPU cycles), chosen to reproduce the paper's uncontended
+round trips (Table 1/3: dL1 3 cycles, L2 32 cycles):
+
+* L1 hit: ``l1.round_trip_latency``.
+* L1 miss -> L2 hit: L1 latency + request traversal + response traversal =
+  ``l1_rt + l2_rt`` total.
+* L2 miss: adds DRAM queueing/service plus the L2 response traversal.
+
+Coherence is MSI with an inclusive shared L2 and a full-map directory at
+L1-line granularity: loads fetch Shared copies; stores upgrade or
+read-for-ownership, invalidating remote sharers; a remote Modified copy is
+written back to the L2 (with an intervention penalty) before a new sharer
+is granted.  Dirty L2 victims become DRAM write transactions.
+
+Criticality flows through this module untouched: the annotation attached at
+load issue is copied onto the DRAM transaction (Section 3.2's widened
+on-chip address bus), and merged MSHR requests take the maximum magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import SetAssociativeCache
+from repro.cache.mshr import MshrFile
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.config import SystemConfig
+from repro.dram.transaction import Transaction
+
+#: Extra CPU cycles when a remote L1 holds the line Modified.
+INTERVENTION_PENALTY = 12
+#: Retry interval for structural hazards (full MSHR / full DRAM queue).
+RETRY_INTERVAL = 4
+
+
+class LoadAccess:
+    """Handle returned to the core for each accepted load.
+
+    ``txn`` is filled in if/when the load reaches the DRAM queue, letting
+    the naive forwarding mechanism (Section 5.1) promote it in place.
+    """
+
+    __slots__ = ("core", "pc", "address", "issue_cycle", "critical", "magnitude",
+                 "txn", "went_to_dram")
+
+    def __init__(self, core, pc, address, issue_cycle, critical, magnitude):
+        self.core = core
+        self.pc = pc
+        self.address = address
+        self.issue_cycle = issue_cycle
+        self.critical = critical
+        self.magnitude = magnitude
+        self.txn = None
+        self.went_to_dram = False
+
+
+class HierarchyStats:
+    """Aggregate counters the experiments consume."""
+
+    def __init__(self):
+        self.loads = 0
+        self.l1_load_hits = 0
+        self.l2_load_hits = 0
+        self.dram_loads = 0
+        self.stores = 0
+        self.writebacks = 0
+        self.interventions = 0
+        self.invalidations = 0
+        self.prefetches_issued = 0
+        self.prefetches_useful = 0
+        # L2-miss (DRAM-serviced) load latency, split by issue-time
+        # criticality — Figure 6's quantity.
+        self.crit_latency_sum = 0
+        self.crit_latency_n = 0
+        self.noncrit_latency_sum = 0
+        self.noncrit_latency_n = 0
+        # Per-static-PC DRAM-load latency: pc -> [sum, count].
+        self.pc_latency: dict[int, list] = {}
+
+    def mean_latency(self, critical: bool) -> float:
+        if critical:
+            return self.crit_latency_sum / self.crit_latency_n if self.crit_latency_n else 0.0
+        return (
+            self.noncrit_latency_sum / self.noncrit_latency_n
+            if self.noncrit_latency_n
+            else 0.0
+        )
+
+    @property
+    def l2_demand_accesses(self) -> int:
+        return self.l2_load_hits + self.dram_loads
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_demand_accesses
+        return self.l2_load_hits / total if total else 0.0
+
+
+class MemoryHierarchy:
+    """Private L1Ds + shared L2 + directory, bridging cores to DRAM."""
+
+    def __init__(self, config: SystemConfig, memsys, events):
+        self.config = config
+        self.memsys = memsys
+        self.events = events
+        self.l1 = [SetAssociativeCache(config.l1d) for _ in range(config.cores)]
+        self.l1_mshr = [MshrFile(config.l1d.mshr_entries) for _ in range(config.cores)]
+        self.l2 = SetAssociativeCache(config.l2)
+        self.l2_mshr = MshrFile(config.l2.mshr_entries)
+        self.prefetcher = StreamPrefetcher(config.prefetcher, config.l2.line_bytes)
+        self._prefetched_lines: set[int] = set()
+        # Directory: L1-line address -> set of core ids holding a copy.
+        self._dir: dict[int, set[int]] = {}
+        self.stats = HierarchyStats()
+        self._l1_hit_lat = config.l1d.round_trip_latency
+        self._l2_half = config.l2.round_trip_latency // 2
+        # Per-core count of stores awaiting an L1 MSHR (the post-commit
+        # store buffer).  When it fills, the core must stall commit.
+        self._store_backlog = [0] * config.cores
+        self.store_buffer_entries = 12
+
+    # ------------------------------------------------------------------ loads
+
+    def load(self, core, pc, address, critical, magnitude, callback, now):
+        """Issue a load.  Returns a :class:`LoadAccess`, or None if the L1
+        MSHR file is full (the core must replay the load)."""
+        stats = self.stats
+        l1 = self.l1[core]
+        line = l1.lookup(address)
+        handle = LoadAccess(core, pc, address, now, critical, magnitude)
+        if line is not None:
+            stats.loads += 1
+            stats.l1_load_hits += 1
+            done = now + self._l1_hit_lat
+            self.events.schedule(done, lambda: callback(done))
+            return handle
+
+        line32 = l1.line_addr(address)
+        mshr = self.l1_mshr[core]
+        entry = mshr.get(line32)
+        if entry is not None:
+            stats.loads += 1
+            entry.waiters.append((handle, callback))
+            l2_entry = self.l2_mshr.get(self.l2.line_addr(line32))
+            if l2_entry is not None and l2_entry.txn is not None:
+                handle.txn = l2_entry.txn
+                handle.went_to_dram = True
+            if critical:
+                self._bump_criticality(core, line32, magnitude)
+            return handle
+        entry = mshr.allocate(line32)
+        if entry is None:
+            return None
+        stats.loads += 1
+        entry.waiters.append((handle, callback))
+        t_l2 = now + self._l1_hit_lat + max(0, self._l2_half - self._l1_hit_lat)
+        self.events.schedule(
+            t_l2,
+            lambda: self._access_l2(core, line32, critical, magnitude,
+                                    is_rfo=False, pc=pc),
+        )
+        return handle
+
+    # ------------------------------------------------------------------ stores
+
+    def can_accept_store(self, core) -> bool:
+        """False when the core's store buffer is full (commit must stall)."""
+        return self._store_backlog[core] < self.store_buffer_entries
+
+    def store(self, core, address, now, _retry=False) -> None:
+        """Retire a store (called at commit; buffered, non-blocking)."""
+        stats = self.stats
+        if not _retry:
+            stats.stores += 1
+        l1 = self.l1[core]
+        line = l1.lookup(address)
+        line32 = l1.line_addr(address)
+        if line is not None:
+            if _retry:
+                self._store_backlog[core] -= 1
+            if line.state == "M":
+                line.dirty = True
+                return
+            # Upgrade S -> M: invalidate remote sharers.
+            self._invalidate_remote(core, line32)
+            line.state = "M"
+            line.dirty = True
+            return
+        # Write-allocate: read-for-ownership through the miss path.
+        mshr = self.l1_mshr[core]
+        entry = mshr.get(line32)
+        if entry is not None:
+            if _retry:
+                self._store_backlog[core] -= 1
+            entry.rfo = True
+            return
+        entry = mshr.allocate(line32)
+        if entry is None:
+            # Hold the store in the core's store buffer and retry; the
+            # buffer's occupancy gates commit via can_accept_store().
+            if not _retry:
+                self._store_backlog[core] += 1
+            self.events.schedule(
+                now + RETRY_INTERVAL,
+                lambda: self.store(core, address, now + RETRY_INTERVAL, _retry=True),
+            )
+            return
+        if _retry:
+            self._store_backlog[core] -= 1
+        entry.rfo = True
+        t_l2 = now + self._l1_hit_lat + max(0, self._l2_half - self._l1_hit_lat)
+        self.events.schedule(
+            t_l2, lambda: self._access_l2(core, line32, False, 0, is_rfo=True)
+        )
+
+    # -------------------------------------------------------------- L2 access
+
+    def _access_l2(self, core, line32, critical, magnitude, is_rfo, pc=0) -> None:
+        now = self._now()
+        l2 = self.l2
+        line64 = l2.line_addr(line32)
+        l2line = l2.lookup(line64)
+        hit = l2line is not None
+        self._train_prefetcher(line64, is_miss=not hit)
+        if hit:
+            if line64 in self._prefetched_lines:
+                self._prefetched_lines.discard(line64)
+                self.stats.prefetches_useful += 1
+            penalty = self._resolve_remote_copies(core, line64, is_rfo)
+            if not is_rfo:
+                self.stats.l2_load_hits += 1
+            done = now + self._l2_half + penalty
+            self.events.schedule(
+                done, lambda: self._fill_l1_and_respond(core, line32, is_rfo, done, None)
+            )
+            return
+        # L2 miss -> DRAM.
+        entry = self.l2_mshr.get(line64)
+        if entry is not None:
+            entry.waiters.append((core, line32, is_rfo))
+            if critical and entry.txn is not None:
+                entry.txn.critical = True
+                if magnitude > entry.txn.magnitude:
+                    entry.txn.magnitude = magnitude
+            return
+        entry = self.l2_mshr.allocate(line64)
+        if entry is None:
+            self.events.schedule(
+                now + RETRY_INTERVAL,
+                lambda: self._access_l2(core, line32, critical, magnitude, is_rfo),
+            )
+            return
+        entry.waiters.append((core, line32, is_rfo))
+        txn = self.memsys.make_transaction(
+            line64,
+            is_write=False,
+            core=core,
+            pc=pc,
+            critical=critical,
+            magnitude=magnitude,
+            callback=lambda dram_done: self._dram_fill(line64, dram_done),
+        )
+        entry.txn = txn
+        self._mark_handles_dram(core, line32, txn)
+        self._enqueue_with_retry(txn)
+
+    def _bump_criticality(self, core, line32, magnitude) -> None:
+        """A critical load merged into an outstanding miss: raise urgency."""
+        line64 = self.l2.line_addr(line32)
+        entry = self.l2_mshr.get(line64)
+        if entry is not None and entry.txn is not None:
+            txn = entry.txn
+            txn.critical = True
+            if magnitude > txn.magnitude:
+                txn.magnitude = magnitude
+
+    def _mark_handles_dram(self, core, line32, txn) -> None:
+        entry = self.l1_mshr[core].get(line32)
+        if entry is None:
+            return
+        for handle, _cb in entry.waiters:
+            handle.txn = txn
+            handle.went_to_dram = True
+
+    def _enqueue_with_retry(self, txn) -> None:
+        if not self.memsys.try_enqueue(txn, self._now()):
+            self.events.schedule(
+                self._now() + RETRY_INTERVAL, lambda: self._enqueue_with_retry(txn)
+            )
+
+    # ----------------------------------------------------------- DRAM return
+
+    def _dram_fill(self, line64, dram_done) -> None:
+        cpu_done = self.memsys.dram_to_cpu(dram_done)
+        self.events.schedule(cpu_done, lambda: self._install_l2_fill(line64, cpu_done))
+
+    def _install_l2_fill(self, line64, now) -> None:
+        entry = self.l2_mshr.release(line64)
+        victim = self.l2.insert(line64, state="S", dirty=False)
+        if victim is not None:
+            self._evict_l2_line(*victim)
+        respond_at = now + self._l2_half
+        for core, line32, is_rfo in entry.waiters:
+            self.events.schedule(
+                respond_at,
+                lambda c=core, l=line32, r=is_rfo: self._fill_l1_and_respond(
+                    c, l, r, respond_at, line64
+                ),
+            )
+        if entry.waiters:
+            self.stats.dram_loads += 1
+
+    def _fill_l1_and_respond(self, core, line32, is_rfo, now, from_dram_line) -> None:
+        mshr = self.l1_mshr[core]
+        entry = mshr.get(line32)
+        rfo = is_rfo or (entry is not None and getattr(entry, "rfo", False))
+        if rfo:
+            self._invalidate_remote(core, line32)
+        state = "M" if rfo else "S"
+        victim = self.l1[core].insert(line32, state=state, dirty=rfo)
+        if victim is not None:
+            self._evict_l1_line(core, *victim)
+        self._dir.setdefault(line32, set()).add(core)
+        if entry is not None:
+            released = mshr.release(line32)
+            for handle, callback in released.waiters:
+                if callback is None:
+                    continue
+                if handle.went_to_dram:
+                    latency = now - handle.issue_cycle
+                    stats = self.stats
+                    if handle.critical:
+                        stats.crit_latency_sum += latency
+                        stats.crit_latency_n += 1
+                    else:
+                        stats.noncrit_latency_sum += latency
+                        stats.noncrit_latency_n += 1
+                    cell = stats.pc_latency.get(handle.pc)
+                    if cell is None:
+                        stats.pc_latency[handle.pc] = [latency, 1]
+                    else:
+                        cell[0] += latency
+                        cell[1] += 1
+                callback(now)
+
+    # ----------------------------------------------------------- coherence
+
+    def _resolve_remote_copies(self, core, line64, is_rfo) -> int:
+        """Handle remote L1 copies on an L2 hit; returns extra latency."""
+        penalty = 0
+        for line32 in self._covered_l1_lines(line64):
+            sharers = self._dir.get(line32)
+            if not sharers:
+                continue
+            for other in list(sharers):
+                if other == core:
+                    continue
+                other_line = self.l1[other].peek(line32)
+                if other_line is None:
+                    sharers.discard(other)
+                    continue
+                if other_line.state == "M":
+                    # Writeback to L2, downgrade (or invalidate on RFO).
+                    l2line = self.l2.peek(line64)
+                    if l2line is not None:
+                        l2line.dirty = True
+                    penalty = INTERVENTION_PENALTY
+                    self.stats.interventions += 1
+                    if is_rfo:
+                        self.l1[other].invalidate(line32)
+                        sharers.discard(other)
+                        self.stats.invalidations += 1
+                    else:
+                        other_line.state = "S"
+                        other_line.dirty = False
+                elif is_rfo:
+                    self.l1[other].invalidate(line32)
+                    sharers.discard(other)
+                    self.stats.invalidations += 1
+        return penalty
+
+    def _invalidate_remote(self, core, line32) -> None:
+        sharers = self._dir.get(line32)
+        if not sharers:
+            return
+        for other in list(sharers):
+            if other == core:
+                continue
+            other_line = self.l1[other].invalidate(line32)
+            if other_line is not None:
+                if other_line.state == "M":
+                    l2line = self.l2.peek(self.l2.line_addr(line32))
+                    if l2line is not None:
+                        l2line.dirty = True
+                self.stats.invalidations += 1
+            sharers.discard(other)
+
+    # ------------------------------------------------------------- evictions
+
+    def _evict_l1_line(self, core, line_addr, line) -> None:
+        sharers = self._dir.get(line_addr)
+        if sharers is not None:
+            sharers.discard(core)
+            if not sharers:
+                del self._dir[line_addr]
+        if line.dirty or line.state == "M":
+            l2line = self.l2.peek(self.l2.line_addr(line_addr))
+            if l2line is not None:
+                l2line.dirty = True
+
+    def _evict_l2_line(self, line64, line) -> None:
+        dirty = line.dirty
+        # Inclusive L2: back-invalidate every covered L1 line everywhere.
+        for line32 in self._covered_l1_lines(line64):
+            sharers = self._dir.pop(line32, None)
+            if not sharers:
+                continue
+            for core in sharers:
+                l1line = self.l1[core].invalidate(line32)
+                if l1line is not None:
+                    if l1line.state == "M" or l1line.dirty:
+                        dirty = True
+                    self.stats.invalidations += 1
+        self._prefetched_lines.discard(line64)
+        if dirty:
+            self._writeback(line64)
+
+    def _writeback(self, line64) -> None:
+        self.stats.writebacks += 1
+        txn = self.memsys.make_transaction(line64, is_write=True)
+        self._enqueue_with_retry(txn)
+
+    # ------------------------------------------------------------ prefetching
+
+    def _train_prefetcher(self, line64, is_miss) -> None:
+        for address in self.prefetcher.observe(line64, is_miss):
+            target = self.l2.line_addr(address)
+            if self.l2.peek(target) is not None or self.l2_mshr.get(target) is not None:
+                continue
+            entry = self.l2_mshr.allocate(target)
+            if entry is None:
+                return
+            txn = self.memsys.make_transaction(
+                target,
+                is_write=False,
+                core=-1,
+                is_prefetch=True,
+                callback=lambda dram_done, t=target: self._dram_fill(t, dram_done),
+            )
+            entry.txn = txn
+            self._prefetched_lines.add(target)
+            self.stats.prefetches_issued += 1
+            self._enqueue_with_retry(txn)
+
+    def prewarm(self, core: int, ranges) -> None:
+        """Pre-populate caches per a trace's ``prewarm`` hints.
+
+        Models the paper's fast-forward warmup: level-1 ranges are installed
+        in the owning core's L1 (Shared) and in the L2; level-2 ranges go to
+        the L2 only.  Insertion respects capacity (LRU evicts as usual), and
+        the directory is kept consistent.
+        """
+        for base, nbytes, level in ranges:
+            for line64 in range(
+                self.l2.line_addr(base), base + nbytes, self.config.l2.line_bytes
+            ):
+                victim = self.l2.insert(line64, state="S", dirty=False)
+                if victim is not None:
+                    self._evict_l2_line(*victim)
+            if level <= 1:
+                l1 = self.l1[core]
+                for line32 in range(
+                    l1.line_addr(base), base + nbytes, self.config.l1d.line_bytes
+                ):
+                    victim = l1.insert(line32, state="S", dirty=False)
+                    if victim is not None:
+                        self._evict_l1_line(core, *victim)
+                    self._dir.setdefault(line32, set()).add(core)
+
+    def _covered_l1_lines(self, line64: int):
+        return range(
+            line64, line64 + self.config.l2.line_bytes, self.config.l1d.line_bytes
+        )
+
+    # ------------------------------------------------------------------ clock
+
+    def bind_clock(self, clock_fn) -> None:
+        """Install the closure returning the current CPU cycle."""
+        self._now = clock_fn

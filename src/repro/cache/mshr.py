@@ -1,0 +1,60 @@
+"""Miss Status Holding Registers with same-line merging."""
+
+from __future__ import annotations
+
+
+class MshrEntry:
+    """One outstanding miss: the waiters to wake and the in-flight txn."""
+
+    __slots__ = ("line_addr", "waiters", "txn", "issued", "rfo")
+
+    def __init__(self, line_addr: int):
+        self.line_addr = line_addr
+        self.waiters: list = []
+        self.txn = None
+        self.issued = False
+        # True when a store (read-for-ownership) is merged into this miss.
+        self.rfo = False
+
+
+class MshrFile:
+    """A fixed-capacity file of outstanding misses, keyed by line address."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        self.capacity = entries
+        self._entries: dict[int, MshrEntry] = {}
+        self.peak = 0
+        self.merges = 0
+        self.full_rejections = 0
+
+    def get(self, line_addr: int) -> MshrEntry | None:
+        return self._entries.get(line_addr)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, line_addr: int) -> MshrEntry | None:
+        """New entry for ``line_addr``; None if the file is full.
+
+        Callers must check :meth:`get` first — allocating a duplicate line
+        is a bug and raises.
+        """
+        if line_addr in self._entries:
+            raise ValueError(f"MSHR already tracks line {line_addr:#x}")
+        if self.full:
+            self.full_rejections += 1
+            return None
+        entry = MshrEntry(line_addr)
+        self._entries[line_addr] = entry
+        self.peak = max(self.peak, len(self._entries))
+        return entry
+
+    def release(self, line_addr: int) -> MshrEntry:
+        """Remove and return the entry (miss completed)."""
+        return self._entries.pop(line_addr)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,39 @@
+"""The paper's contribution: processor-side load-criticality prediction
+paired with a lean criticality-aware FR-FCFS memory scheduler."""
+
+from repro.core.cbp import CbpMetric, CommitBlockPredictor
+from repro.core.clpt import CriticalLoadPredictionTable
+from repro.core.counters import (
+    FullCounter,
+    ProbabilisticCounter,
+    SaturatingCounter,
+    make_counter,
+)
+from repro.core.critsched import CasRasCritScheduler, CritCasRasScheduler
+from repro.core.fields import FieldsLikePredictor, FieldsLikeProvider
+from repro.core.provider import (
+    CbpProvider,
+    ClptProvider,
+    CriticalityProvider,
+    NaiveForwardingProvider,
+    NullProvider,
+)
+
+__all__ = [
+    "CasRasCritScheduler",
+    "CbpMetric",
+    "CbpProvider",
+    "ClptProvider",
+    "CommitBlockPredictor",
+    "CritCasRasScheduler",
+    "CriticalLoadPredictionTable",
+    "CriticalityProvider",
+    "FieldsLikePredictor",
+    "FieldsLikeProvider",
+    "FullCounter",
+    "NaiveForwardingProvider",
+    "NullProvider",
+    "ProbabilisticCounter",
+    "SaturatingCounter",
+    "make_counter",
+]

@@ -1,0 +1,146 @@
+"""Commit Block Predictor (CBP) — Section 3 of the paper.
+
+A small, tagless, direct-mapped SRAM indexed by a bit substring of the load
+PC.  When a load blocks at the head of the ROB, the table entry is annotated;
+when a later dynamic instance of the same (aliased) static load issues, the
+stored annotation travels with its memory request as a criticality
+flag/magnitude.
+
+Five annotation metrics are evaluated (Section 3.1):
+
+* ``BINARY``         — a single saturating bit: "has ever blocked".
+* ``BLOCK_COUNT``    — number of times the load blocked the ROB head.
+* ``LAST_STALL``     — duration of the most recent head stall.
+* ``MAX_STALL``      — largest single observed head stall.
+* ``TOTAL_STALL``    — accumulated head-stall cycles.
+
+Stall-time metrics can only be written once the stalled load commits; the
+block-count/binary metrics are written when the block begins.  An optional
+periodic reset (Section 5.3.2) clears the table every N cycles to combat
+aliasing-induced saturation.  ``entries=None`` models the paper's unlimited
+fully-associative table (unaliased prediction).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CbpMetric(enum.Enum):
+    """How a CBP entry summarises observed ROB-head blocking."""
+
+    BINARY = "Binary"
+    BLOCK_COUNT = "BlockCount"
+    LAST_STALL = "LastStallTime"
+    MAX_STALL = "MaxStallTime"
+    TOTAL_STALL = "TotalStallTime"
+
+
+class CommitBlockPredictor:
+    """One per-core CBP table.
+
+    Args:
+        entries: power-of-two table size, or None for unlimited (tagless
+            aliasing disappears and the dict is keyed by full PC).
+        metric: the annotation scheme.
+        reset_interval: clear the table every this many CPU cycles
+            (None = never; the paper's best finite setting is 100K).
+    """
+
+    def __init__(
+        self,
+        entries: int | None = 64,
+        metric: CbpMetric = CbpMetric.MAX_STALL,
+        reset_interval: int | None = None,
+        counter=None,
+    ):
+        if entries is not None:
+            if entries <= 0 or entries & (entries - 1):
+                raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.metric = metric
+        self.reset_interval = reset_interval
+        if counter is None:
+            from repro.core.counters import FullCounter
+
+            counter = FullCounter()
+        elif isinstance(counter, str):
+            from repro.core.counters import make_counter
+
+            counter = make_counter(counter)
+        self.counter = counter
+        self._table: dict[int, int] = {}
+        self._next_reset = reset_interval
+        # Largest value ever written: Table 5's counter-width evidence.
+        self.max_observed = 0
+        self.resets = 0
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        if self.entries is None:
+            return pc
+        return pc & (self.entries - 1)
+
+    # -- read path (load issue) ---------------------------------------------
+
+    def predict(self, pc: int) -> int:
+        """Criticality magnitude for a load at ``pc`` (0 = not critical)."""
+        return self._table.get(self._index(pc), 0)
+
+    # -- write paths ----------------------------------------------------------
+
+    def record_block_start(self, pc: int) -> None:
+        """The load at ``pc`` just blocked the ROB head."""
+        metric = self.metric
+        if metric is CbpMetric.BINARY:
+            self._store(pc, 1)
+        elif metric is CbpMetric.BLOCK_COUNT:
+            idx = self._index(pc)
+            self._store_idx(idx, self.counter.apply(self._table.get(idx, 0), 1))
+
+    def record_stall(self, pc: int, stall_cycles: int) -> None:
+        """A previously blocking load at ``pc`` committed after stalling."""
+        if stall_cycles < 0:
+            raise ValueError(f"stall_cycles must be >= 0, got {stall_cycles}")
+        metric = self.metric
+        if metric is CbpMetric.LAST_STALL:
+            self._store(pc, self.counter.store(stall_cycles))
+        elif metric is CbpMetric.MAX_STALL:
+            idx = self._index(pc)
+            stored = self.counter.store(stall_cycles)
+            if stored > self._table.get(idx, 0):
+                self._store_idx(idx, stored)
+        elif metric is CbpMetric.TOTAL_STALL:
+            idx = self._index(pc)
+            self._store_idx(
+                idx, self.counter.apply(self._table.get(idx, 0), stall_cycles)
+            )
+
+    def _store(self, pc: int, value: int) -> None:
+        self._store_idx(self._index(pc), value)
+
+    def _store_idx(self, idx: int, value: int) -> None:
+        self._table[idx] = value
+        if value > self.max_observed:
+            self.max_observed = value
+
+    # -- periodic reset -----------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance the reset clock; call with the current CPU cycle."""
+        if self._next_reset is not None and cycle >= self._next_reset:
+            self._table.clear()
+            self._next_reset = cycle + self.reset_interval
+            self.resets += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of non-zero entries currently stored."""
+        return sum(1 for v in self._table.values() if v)
+
+    @staticmethod
+    def counter_width(max_value: int) -> int:
+        """Bits needed to store ``max_value`` (Table 5's width column)."""
+        return max(1, int(max_value).bit_length())

@@ -1,0 +1,46 @@
+"""Critical Load Prediction Table (Subramaniam et al., HPCA 2009).
+
+The comparison predictor (Section 2): loads with many *direct consumers*
+are deemed critical.  The processor counts direct dependents as consumers
+enter rename, stores the count in a PC-indexed table, and marks the next
+dynamic instance critical if the stored count exceeds a threshold
+(application-dependent; the paper picks 3, and also evaluates 2).
+
+Two scheduler-facing configurations:
+
+* CLPT-Binary    — send only the "critical" flag (count >= threshold).
+* CLPT-Consumers — send the consumer count itself as a ranked magnitude.
+"""
+
+from __future__ import annotations
+
+
+class CriticalLoadPredictionTable:
+    """PC-indexed direct-consumer-count predictor."""
+
+    def __init__(self, entries: int | None = 1024, threshold: int = 3):
+        if entries is not None:
+            if entries <= 0 or entries & (entries - 1):
+                raise ValueError(f"entries must be a power of two, got {entries}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.entries = entries
+        self.threshold = threshold
+        self._table: dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        if self.entries is None:
+            return pc
+        return pc & (self.entries - 1)
+
+    def record_consumers(self, pc: int, count: int) -> None:
+        """A dynamic load at ``pc`` was observed with ``count`` consumers."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._table[self._index(pc)] = count
+
+    def consumer_count(self, pc: int) -> int:
+        return self._table.get(self._index(pc), 0)
+
+    def is_critical(self, pc: int) -> bool:
+        return self.consumer_count(pc) >= self.threshold

@@ -1,0 +1,109 @@
+"""CBP counter update policies (paper Section 5.3 extension).
+
+The paper sizes its counters from worst-case observed values (Table 5) and
+notes: "One could also implement saturation for values that exceed the bit
+width, or probabilistic counters for value accumulation [Riley & Zilles],
+but we do not explore these."  This module explores them:
+
+* :class:`FullCounter`         — unbounded (the paper's measurement mode).
+* :class:`SaturatingCounter`   — clamps at ``2**width - 1``; the hardware
+  you would actually build.
+* :class:`ProbabilisticCounter` — Riley & Zilles (HPCA 2006) style: above
+  a pivot, increments apply with probability 2^-k and add 2^k instead,
+  keeping expectation while storing log-compressed state in few bits.
+
+All policies expose ``apply(old, increment) -> new`` for accumulating
+metrics (BlockCount / TotalStallTime) and ``store(value) -> stored`` for
+value-writing metrics (Last/MaxStallTime).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class FullCounter:
+    """Unbounded counter: exact accumulation (the paper's default)."""
+
+    name = "full"
+
+    def apply(self, old: int, increment: int) -> int:
+        return old + increment
+
+    def store(self, value: int) -> int:
+        return value
+
+
+class SaturatingCounter:
+    """Clamp at the width's maximum; never wraps."""
+
+    name = "saturating"
+
+    def __init__(self, width: int = 14):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.maximum = (1 << width) - 1
+
+    def apply(self, old: int, increment: int) -> int:
+        return min(self.maximum, old + increment)
+
+    def store(self, value: int) -> int:
+        return min(self.maximum, value)
+
+
+class ProbabilisticCounter:
+    """Probabilistic accumulation above a pivot (Riley & Zilles).
+
+    Values up to ``pivot`` accumulate exactly.  Beyond it, an update of
+    ``d`` is applied as ``d * 2**k`` with probability ``2**-k``, where
+    ``k`` grows with the stored magnitude — expectation is preserved while
+    the counter can be stored in ``log``-ish precision.  A seeded LFSR
+    stands in for the hardware's pseudo-random bit source.
+    """
+
+    name = "probabilistic"
+
+    def __init__(self, pivot: int = 1024, width: int = 14, seed: int = 1):
+        if pivot < 1:
+            raise ValueError(f"pivot must be >= 1, got {pivot}")
+        self.pivot = pivot
+        self.maximum = (1 << width) - 1
+        self._rng = random.Random(seed)
+
+    def _shift_for(self, value: int) -> int:
+        """How coarse updates are at this magnitude (0 = exact)."""
+        shift = 0
+        threshold = self.pivot
+        while value >= threshold and shift < 8:
+            shift += 1
+            threshold <<= 1
+        return shift
+
+    def apply(self, old: int, increment: int) -> int:
+        shift = self._shift_for(old)
+        if shift == 0:
+            return min(self.maximum, old + increment)
+        if self._rng.random() < 1.0 / (1 << shift):
+            return min(self.maximum, old + (increment << shift))
+        return old
+
+    def store(self, value: int) -> int:
+        return min(self.maximum, value)
+
+
+COUNTER_MODES = {
+    "full": FullCounter,
+    "saturating": SaturatingCounter,
+    "probabilistic": ProbabilisticCounter,
+}
+
+
+def make_counter(mode: str = "full", **kwargs):
+    try:
+        cls = COUNTER_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown counter mode {mode!r}; choose from {sorted(COUNTER_MODES)}"
+        ) from None
+    return cls(**kwargs)

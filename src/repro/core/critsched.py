@@ -1,0 +1,139 @@
+"""Criticality-aware FR-FCFS (Section 3.2): the memory-side half.
+
+Two arrangements of criticality within FR-FCFS:
+
+* **Crit-CASRAS** — (1) critical CAS, (2) critical RAS, (3) non-critical
+  CAS, (4) non-critical RAS; oldest-first within a group.  Requires an
+  extra arbitration level beyond stock FR-FCFS.
+* **CASRAS-Crit** — (1) critical CAS, (2) non-critical CAS, (3) critical
+  RAS, (4) non-critical RAS.  Implementable by simply prepending the
+  criticality magnitude to the age comparator's upper bits, so the paper
+  advocates this variant.
+
+Ranked magnitudes order requests within the critical groups (higher
+magnitude first, then oldest).  To avoid starvation, a non-critical request
+older than ``starvation_cap`` DRAM cycles is promoted to critical with
+maximal urgency (Section 3.2; the paper observes the cap is never reached —
+we count promotions so experiments can verify the same).
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+#: Magnitude assigned to starvation-promoted requests: above any realistic
+#: stall-time/blocking-count value.
+_PROMOTED_MAGNITUDE = 1 << 28
+
+
+class _CriticalityScheduler(Scheduler):
+    """Shared machinery for both arrangements.
+
+    ``magnitude_shift`` coarsens the ranked comparison: magnitudes are
+    compared in ``2**magnitude_shift``-cycle buckets, so requests whose
+    stall histories differ by noise keep their age order (and the hardware
+    comparator stays narrow).  Binary predictors are unaffected (flag 1 vs
+    0 always lands in different buckets only when one side is zero —
+    non-critical requests always carry urgency 0).
+    """
+
+    def __init__(self, starvation_cap: int = 6000, magnitude_shift: int = 5):
+        if starvation_cap <= 0:
+            raise ValueError(f"starvation_cap must be positive, got {starvation_cap}")
+        if magnitude_shift < 0:
+            raise ValueError(f"magnitude_shift must be >= 0, got {magnitude_shift}")
+        self.starvation_cap = starvation_cap
+        self.magnitude_shift = magnitude_shift
+        self._promoted: set[int] = set()
+
+    @property
+    def promotions(self) -> int:
+        """Distinct requests ever promoted by the starvation cap."""
+        return len(self._promoted)
+
+    def _urgency(self, txn, now: int) -> int:
+        """Effective criticality magnitude, with the starvation cap applied."""
+        if txn.critical:
+            return max(1, txn.magnitude >> self.magnitude_shift)
+        if not txn.is_write and now - txn.arrival > self.starvation_cap:
+            self._promoted.add(txn.seq)
+            return _PROMOTED_MAGNITUDE
+        return 0
+
+    def pre_admissible(self, cand, controller) -> bool:
+        """Criticality-aware open-page policy.
+
+        A critical conflicting request may precharge a row even while
+        non-critical hits to it are pending (the paper's "critical RAS"
+        outranking non-critical work); rows with pending *critical* hits
+        stay protected, as does the idle threshold for non-critical
+        conflicts.
+        """
+        from repro.dram.command import CommandKind
+
+        if cand.kind != CommandKind.PRECHARGE:
+            return True
+        if cand.txn is not None and cand.txn.critical and not cand.hit_is_critical:
+            return True
+        if cand.blocked_by_hits:
+            return False
+        return cand.row_idle >= controller.config.row_idle_precharge_cycles
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        if not candidates:
+            return None
+        # All of a core's critical reads share one urgency: the magnitude
+        # of the core's *oldest* queued critical read (the request its
+        # in-order commit stream is gated on right now).  A uniform
+        # per-core value plus the age tiebreak guarantees a core's
+        # requests are never served out of program order because of stale
+        # table noise — which would waste the entire reordering — while
+        # cores still compete by how badly their commit stream is hurting.
+        # Hardware cost: one magnitude register per core at the queue.
+        core_urgency: dict[int, int] = {}
+        for txn in controller.read_queue:
+            if txn.critical and txn.core not in core_urgency:
+                core_urgency[txn.core] = self._urgency(txn, now)
+        best = None
+        best_key = None
+        for cand in candidates:
+            txn = cand.txn
+            if txn.is_write:
+                urgency = 0
+            elif txn.critical:
+                urgency = core_urgency.get(txn.core, 0)
+            else:
+                urgency = self._urgency(txn, now)
+            key = self._key(cand, urgency)
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best
+
+    def _key(self, cand, urgency: int):
+        raise NotImplementedError
+
+
+class CritCasRasScheduler(_CriticalityScheduler):
+    """Criticality dominates the CAS/RAS split."""
+
+    name = "crit-casras"
+
+    def _key(self, cand, urgency):
+        # Sort ascending: critical first (0), then CAS first, then by
+        # descending magnitude, then oldest.
+        return (urgency == 0, not cand.is_cas, -urgency, cand.txn.seq)
+
+
+class CasRasCritScheduler(_CriticalityScheduler):
+    """CAS/RAS split dominates; criticality refines within each half.
+
+    This is the magnitude-prepended-to-the-age-comparator design the paper
+    recommends for hardware.
+    """
+
+    name = "casras-crit"
+
+    def _key(self, cand, urgency):
+        return (not cand.is_cas, -urgency, cand.txn.seq)

@@ -1,0 +1,88 @@
+"""A Fields-style general instruction-criticality predictor — the approach
+the paper evaluated and *excluded* (Section 2).
+
+Fields et al. (ISCA 2001) define criticality on the dispatch/execute/
+commit dependence graph; practical predictors derived from it favour
+long-latency instructions.  As the paper observes, that bias "does not
+differentiate amongst memory accesses": every L2-missing load is
+long-latency, so all of them are flagged and the memory scheduler gains
+nothing.  This module implements such a predictor so the exclusion claim
+can be reproduced quantitatively (see ``repro.experiments.ablation``).
+
+The implementation tracks, per static load, the fraction of dynamic
+instances whose observed latency exceeded a threshold; loads above a
+marking ratio are predicted critical.  Because DRAM-serviced loads all
+exceed any L1/L2-scale threshold, the prediction collapses to "is this
+load a miss?" — exactly the non-differentiating behaviour the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.provider import CriticalityProvider
+
+
+class FieldsLikePredictor:
+    """Long-latency-biased criticality (per static PC)."""
+
+    def __init__(self, latency_threshold: int = 40, mark_ratio: float = 0.2,
+                 entries: int | None = 1024):
+        if latency_threshold < 1:
+            raise ValueError(
+                f"latency_threshold must be >= 1, got {latency_threshold}"
+            )
+        if not 0.0 < mark_ratio <= 1.0:
+            raise ValueError(f"mark_ratio must be in (0, 1], got {mark_ratio}")
+        if entries is not None and (entries <= 0 or entries & (entries - 1)):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.latency_threshold = latency_threshold
+        self.mark_ratio = mark_ratio
+        self.entries = entries
+        self._long: dict[int, int] = {}
+        self._total: dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return pc if self.entries is None else pc & (self.entries - 1)
+
+    def record_latency(self, pc: int, latency: int) -> None:
+        idx = self._index(pc)
+        self._total[idx] = self._total.get(idx, 0) + 1
+        if latency >= self.latency_threshold:
+            self._long[idx] = self._long.get(idx, 0) + 1
+
+    def is_critical(self, pc: int) -> bool:
+        idx = self._index(pc)
+        total = self._total.get(idx, 0)
+        if not total:
+            return False
+        return self._long.get(idx, 0) / total >= self.mark_ratio
+
+    def long_latency_ratio(self, pc: int) -> float:
+        idx = self._index(pc)
+        total = self._total.get(idx, 0)
+        return self._long.get(idx, 0) / total if total else 0.0
+
+
+class FieldsLikeProvider(CriticalityProvider):
+    """Provider wrapper: marks loads by long-latency history.
+
+    Latencies are observed at blocked commits (stall length is the
+    latency's exposed portion, which is what a Fields-graph edge would
+    measure for a commit-blocking load) and at issue time for annotation.
+    """
+
+    def __init__(self, latency_threshold: int = 40, mark_ratio: float = 0.2,
+                 entries: int | None = 1024):
+        self.predictor = FieldsLikePredictor(latency_threshold, mark_ratio, entries)
+
+    def annotate(self, pc: int) -> tuple[bool, int]:
+        if self.predictor.is_critical(pc):
+            return (True, 1)
+        return (False, 0)
+
+    def on_blocked_commit(self, pc: int, stall_cycles: int, cycle: int) -> None:
+        self.predictor.record_latency(pc, stall_cycles)
+
+    def on_load_consumers(self, pc: int, count: int) -> None:
+        # Non-blocking instances register as short-latency observations.
+        self.predictor.record_latency(pc, 0)

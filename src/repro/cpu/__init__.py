@@ -1,0 +1,24 @@
+"""Out-of-order core model: ROB, load/store queues, ROB-head block tracking."""
+
+from repro.cpu.core import CoreStats, OutOfOrderCore
+from repro.cpu.instruction import (
+    BRANCH,
+    FP,
+    INT,
+    LOAD,
+    STORE,
+    TYPE_NAMES,
+    Trace,
+)
+
+__all__ = [
+    "BRANCH",
+    "CoreStats",
+    "FP",
+    "INT",
+    "LOAD",
+    "OutOfOrderCore",
+    "STORE",
+    "TYPE_NAMES",
+    "Trace",
+]

@@ -1,0 +1,369 @@
+"""Cycle-stepped out-of-order core (paper Table 1 machine).
+
+Modeled structure, per cycle:
+
+* **Dispatch** — in order, up to ``fetch_width`` per cycle, gated by ROB
+  space, load/store-queue entries (allocated at dispatch, freed at commit),
+  and branch-misprediction refill stalls (resolve + 9-cycle penalty).
+* **Execute** — an instruction issues once all producers have completed;
+  per-type functional-unit slots bound issues per cycle (2 INT / 2 FP /
+  2 branch / 2 load ports / 2 store ports).  Non-memory latencies are
+  fixed; loads go to the cache hierarchy and complete when data returns.
+* **Commit** — in order, up to ``commit_width`` per cycle.  An incomplete
+  load at the ROB head *blocks* commit: this is the event the Commit Block
+  Predictor observes (block start) and measures (stall length, written back
+  at the blocked load's commit).
+
+The core reports three things to its criticality provider: annotations for
+issued loads, block starts, and blocked-commit stall times — plus direct-
+consumer counts for the CLPT comparator.
+"""
+
+from __future__ import annotations
+
+from repro.config import CoreConfig
+from repro.cpu.instruction import BRANCH, FP, INT, LOAD, STORE
+from repro.core.provider import CriticalityProvider, NaiveForwardingProvider
+
+_UNKNOWN = -1
+
+
+class _Slot:
+    """One ROB entry."""
+
+    __slots__ = (
+        "idx",
+        "itype",
+        "pc",
+        "addr",
+        "deps_pending",
+        "ready_base",
+        "dispatch_cycle",
+        "waiters",
+        "blocking_start",
+        "handle",
+        "consumers",
+        "is_misp_branch",
+        "issued",
+    )
+
+    def __init__(self, idx, itype, pc, addr, dispatch_cycle):
+        self.idx = idx
+        self.itype = itype
+        self.pc = pc
+        self.addr = addr
+        self.deps_pending = 0
+        self.ready_base = dispatch_cycle
+        self.dispatch_cycle = dispatch_cycle
+        self.waiters = None
+        self.blocking_start = -1
+        self.handle = None
+        self.consumers = 0
+        self.is_misp_branch = False
+        self.issued = False
+
+
+class CoreStats:
+    """Per-core counters for Figures 1/6/9 and predictor studies."""
+
+    def __init__(self):
+        self.committed = 0
+        self.cycles = 0
+        self.loads = 0
+        self.blocking_loads = 0
+        self.blocking_dram_loads = 0
+        self.blocked_cycles = 0
+        self.blocked_dram_cycles = 0
+        self.total_block_stall = 0
+        self.lq_full_cycles = 0
+        self.sq_full_cycles = 0
+        self.rob_full_cycles = 0
+        self.dispatch_stall_cycles = 0
+        self.critical_loads_sent = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+class OutOfOrderCore:
+    """One core executing one trace against the shared hierarchy."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace,
+        hierarchy,
+        provider: CriticalityProvider | None = None,
+        events=None,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.provider = provider if provider is not None else CriticalityProvider()
+        if isinstance(self.provider, NaiveForwardingProvider) and events is not None:
+            self.provider.bind_defer(events.schedule)
+        self._n = len(trace)
+        self._ptr = 0
+        self._rob: list[_Slot] = []
+        self._rob_head = 0
+        self._slot_by_idx: dict[int, _Slot] = {}
+        self._complete: list[int] = [_UNKNOWN] * self._n
+        # Per-cycle wake lists for deterministic-latency completions.
+        self._wake: dict[int, list[_Slot]] = {}
+        # Loads scheduled to access the cache at a given cycle.
+        self._load_issue: dict[int, list[_Slot]] = {}
+        # Functional-unit reservation: per type, cycle -> issues booked.
+        self._fu_booked: dict[int, dict[int, int]] = {t: {} for t in range(5)}
+        self._fu_caps = {
+            INT: config.int_units,
+            FP: config.fp_units,
+            BRANCH: config.branch_units,
+            LOAD: config.load_ports,
+            STORE: config.store_ports,
+        }
+        self._latency = {
+            INT: config.int_latency,
+            FP: config.fp_latency,
+            BRANCH: config.branch_latency,
+            STORE: 1,
+        }
+        self._lq_used = 0
+        self._sq_used = 0
+        self._fetch_blocker: _Slot | None = None
+        self._fetch_resume = 0
+        self.stats = CoreStats()
+        self.done = False
+
+    # --------------------------------------------------------------- helpers
+
+    def _rob_occupancy(self) -> int:
+        return len(self._rob) - self._rob_head
+
+    def _compact_rob(self) -> None:
+        if self._rob_head > 256:
+            del self._rob[: self._rob_head]
+            self._rob_head = 0
+
+    def _book_fu(self, itype: int, earliest: int) -> int:
+        """Reserve a functional-unit slot of ``itype`` at or after ``earliest``."""
+        booked = self._fu_booked[itype]
+        cap = self._fu_caps[itype]
+        cycle = earliest
+        while booked.get(cycle, 0) >= cap:
+            cycle += 1
+        booked[cycle] = booked.get(cycle, 0) + 1
+        return cycle
+
+    # ----------------------------------------------------------- completions
+
+    def _complete_at(self, slot: _Slot, cycle: int) -> None:
+        """Mark ``slot`` complete at ``cycle`` and wake its dependents."""
+        self._complete[slot.idx] = cycle
+        if slot is self._fetch_blocker:
+            self._fetch_blocker = None
+            self._fetch_resume = cycle + self.config.branch_mispredict_penalty
+        waiters = slot.waiters
+        if waiters:
+            for dep in waiters:
+                if cycle > dep.ready_base:
+                    dep.ready_base = cycle
+                dep.deps_pending -= 1
+                if dep.deps_pending == 0:
+                    self._schedule_execute(dep, dep.ready_base)
+            slot.waiters = None
+
+    def _schedule_execute(self, slot: _Slot, earliest: int) -> None:
+        earliest = max(earliest, slot.dispatch_cycle + 1)
+        itype = slot.itype
+        issue = self._book_fu(itype, earliest)
+        if itype == LOAD:
+            self._load_issue.setdefault(issue, []).append(slot)
+        else:
+            done = issue + self._latency[itype]
+            self._wake.setdefault(done, []).append(slot)
+
+    def _on_load_done(self, slot: _Slot, cycle: int) -> None:
+        self._complete_at(slot, cycle)
+
+    # ---------------------------------------------------------------- stages
+
+    def _do_load_issues(self, now: int) -> None:
+        slots = self._load_issue.pop(now, None)
+        if not slots:
+            return
+        hierarchy = self.hierarchy
+        provider = self.provider
+        for slot in slots:
+            critical, magnitude = provider.annotate(slot.pc)
+            handle = hierarchy.load(
+                self.core_id,
+                slot.pc,
+                slot.addr,
+                critical,
+                magnitude,
+                lambda done, s=slot: self._on_load_done(s, done),
+                now,
+            )
+            if handle is None:
+                # L1 MSHRs full: replay next cycle through a fresh port slot.
+                retry = self._book_fu(LOAD, now + 1)
+                self._load_issue.setdefault(retry, []).append(slot)
+                continue
+            slot.handle = handle
+            slot.issued = True
+            if critical:
+                self.stats.critical_loads_sent += 1
+            self.stats.loads += 1
+
+    def _do_commit(self, now: int) -> None:
+        stats = self.stats
+        rob = self._rob
+        complete = self._complete
+        committed = 0
+        width = self.config.commit_width
+        while committed < width and self._rob_head < len(rob):
+            head = rob[self._rob_head]
+            done_cycle = complete[head.idx]
+            if done_cycle == _UNKNOWN or done_cycle > now:
+                if head.itype == LOAD:
+                    # Only long-latency (DRAM-serviced) loads count as
+                    # ROB-head blockers — the Runahead/CLEAR criterion the
+                    # CBP is built on.  Short L1/L2-hit head stalls are not
+                    # criticality events.
+                    dram_bound = head.handle is not None and head.handle.went_to_dram
+                    if head.blocking_start < 0 and dram_bound:
+                        head.blocking_start = now
+                        stats.blocking_loads += 1
+                        stats.blocking_dram_loads += 1
+                        self.provider.on_block_start(
+                            head.pc, now, head.handle.txn
+                        )
+                    stats.blocked_cycles += 1
+                    if dram_bound:
+                        stats.blocked_dram_cycles += 1
+                break
+            itype = head.itype
+            if itype == STORE and not self.hierarchy.can_accept_store(self.core_id):
+                # Store buffer full: commit stalls until it drains.
+                stats.sq_full_cycles += 1
+                break
+            if itype == LOAD:
+                if head.blocking_start >= 0:
+                    stall = now - head.blocking_start
+                    stats.total_block_stall += stall
+                    self.provider.on_blocked_commit(head.pc, stall, now)
+                self.provider.on_load_consumers(head.pc, head.consumers)
+                self._lq_used -= 1
+            elif itype == STORE:
+                self._sq_used -= 1
+                self.hierarchy.store(self.core_id, head.addr, now)
+            del self._slot_by_idx[head.idx]
+            self._rob_head += 1
+            committed += 1
+            stats.committed += 1
+        self._compact_rob()
+
+    def _do_dispatch(self, now: int) -> None:
+        if self._fetch_blocker is not None or now < self._fetch_resume:
+            self.stats.dispatch_stall_cycles += 1
+            return
+        config = self.config
+        trace = self.trace
+        rob_limit = config.rob_entries
+        dispatched = 0
+        counted_lq_full = False
+        while dispatched < config.fetch_width and self._ptr < self._n:
+            if self._rob_occupancy() >= rob_limit:
+                self.stats.rob_full_cycles += 1
+                break
+            i = self._ptr
+            itype = trace.itypes[i]
+            if itype == LOAD and self._lq_used >= config.load_queue_entries:
+                if not counted_lq_full:
+                    self.stats.lq_full_cycles += 1
+                    counted_lq_full = True
+                break
+            if itype == STORE and self._sq_used >= config.store_queue_entries:
+                break
+            slot = _Slot(i, itype, trace.pcs[i], trace.addrs[i], now)
+            self._resolve_deps(slot, trace.dep1[i], trace.dep2[i])
+            self._rob.append(slot)
+            self._slot_by_idx[i] = slot
+            if itype == LOAD:
+                self._lq_used += 1
+            elif itype == STORE:
+                self._sq_used += 1
+            if slot.deps_pending == 0:
+                self._schedule_execute(slot, slot.ready_base)
+            self._ptr += 1
+            dispatched += 1
+            if itype == BRANCH and trace.misp[i]:
+                # Fetch stalls until the branch resolves, plus the refill
+                # penalty (applied when the branch completes).
+                slot.is_misp_branch = True
+                self._fetch_blocker = slot
+                break
+
+    def _resolve_deps(self, slot: _Slot, d1: int, d2: int) -> None:
+        complete = self._complete
+        slot_by_idx = self._slot_by_idx
+        for dist in (d1, d2):
+            if dist <= 0:
+                continue
+            p = slot.idx - dist
+            if p < 0:
+                continue
+            producer = slot_by_idx.get(p)
+            if producer is not None and producer.itype == LOAD:
+                # Direct-consumer count, as CLPT tracks at rename time.
+                producer.consumers += 1
+            done = complete[p]
+            if done == _UNKNOWN:
+                if producer is None:
+                    continue
+                if producer.waiters is None:
+                    producer.waiters = []
+                producer.waiters.append(slot)
+                slot.deps_pending += 1
+            elif done > slot.ready_base:
+                slot.ready_base = done
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, now: int) -> None:
+        """Advance one CPU cycle."""
+        if self.done:
+            return
+        wake = self._wake.pop(now, None)
+        if wake:
+            for slot in wake:
+                self._complete_at(slot, now)
+        self._do_load_issues(now)
+        self._do_commit(now)
+        self._do_dispatch(now)
+        self.provider.tick(now)
+        if now & 16383 == 0 and now:
+            self._prune_fu_bookings(now)
+        self.stats.cycles = now + 1
+        if self._ptr >= self._n and self._rob_head >= len(self._rob):
+            self.done = True
+
+    def _prune_fu_bookings(self, now: int) -> None:
+        """Drop functional-unit reservations for cycles already past."""
+        for itype, booked in self._fu_booked.items():
+            if len(booked) > 64:
+                self._fu_booked[itype] = {
+                    c: n for c, n in booked.items() if c > now
+                }
+
+    # -------------------------------------------------------------- inspection
+
+    def rob_occupancy(self) -> int:
+        return self._rob_occupancy()
+
+    @property
+    def instructions_remaining(self) -> int:
+        return self._n - self._ptr

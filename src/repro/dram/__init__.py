@@ -1,0 +1,26 @@
+"""Detailed DDR3 DRAM model: banks, ranks, channels, timing, scheduling.
+
+The model is command-level: the controller issues ACT/PRE/RD/WR/REF commands
+subject to the full Table-3 timing set, one command per channel per DRAM
+command-clock cycle, with burst-length-8 data-bus occupancy and per-rank
+refresh.
+"""
+
+from repro.dram.addressmap import AddressMap, DramLocation
+from repro.dram.bank import Bank
+from repro.dram.channel import ChannelTiming
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.controller import ChannelController, MemorySystem
+from repro.dram.transaction import Transaction
+
+__all__ = [
+    "AddressMap",
+    "Bank",
+    "CandidateCommand",
+    "ChannelController",
+    "ChannelTiming",
+    "CommandKind",
+    "DramLocation",
+    "MemorySystem",
+    "Transaction",
+]

@@ -1,0 +1,66 @@
+"""Physical-address decomposition under page interleaving (paper Table 3).
+
+Consecutive row-buffer-sized pages are striped across channels, then banks,
+then ranks, so a streaming access pattern spreads across channels while each
+page stays within one row (maximising open-page hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+
+
+@dataclass(frozen=True)
+class DramLocation:
+    """Where one physical address lives in the DRAM topology."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMap:
+    """Maps physical addresses to (channel, rank, bank, row, column).
+
+    Layout, from least-significant: column offset within the row buffer,
+    channel index, bank index, rank index, row index.  This is the "page
+    interleaving" policy named in Table 3.
+    """
+
+    def __init__(self, config: DramConfig):
+        self._row_bytes = config.row_buffer_bytes
+        self._channels = config.channels
+        self._ranks = config.ranks_per_channel
+        self._banks = config.banks_per_rank
+        self._rows = config.rows_per_bank
+
+    def locate(self, address: int) -> DramLocation:
+        """Decompose a physical byte address."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        column = address % self._row_bytes
+        page = address // self._row_bytes
+        channel = page % self._channels
+        page //= self._channels
+        bank = page % self._banks
+        page //= self._banks
+        rank = page % self._ranks
+        page //= self._ranks
+        row = page % self._rows
+        return DramLocation(channel, rank, bank, row, column)
+
+    def compose(self, loc: DramLocation) -> int:
+        """Inverse of :meth:`locate` (up to row aliasing)."""
+        page = loc.row
+        page = page * self._ranks + loc.rank
+        page = page * self._banks + loc.bank
+        page = page * self._channels + loc.channel
+        return page * self._row_bytes + loc.column
+
+    @property
+    def row_bytes(self) -> int:
+        return self._row_bytes

@@ -1,0 +1,92 @@
+"""Channel- and rank-level timing constraints.
+
+Constraints enforced here, on top of the per-bank rules in
+:mod:`repro.dram.bank`:
+
+* tRRD  — ACTIVATE-to-ACTIVATE minimum between banks of the same rank.
+* tCCD  — CAS-to-CAS minimum on the channel.
+* tWTR  — WRITE-to-READ turnaround within a rank (from end of write data).
+* tRTRS — rank-to-rank data-bus switch penalty.
+* Data-bus occupancy — each burst owns the channel data bus for
+  ``burst_length/2`` cycles; bursts may not overlap.
+* Read-after-write / write-after-read bus ordering falls out of the data-bus
+  occupancy model plus tWTR.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramTimings
+
+
+class ChannelTiming:
+    """Tracks shared-channel timing state and answers "can CAS issue now?"."""
+
+    __slots__ = (
+        "_t",
+        "next_cas_allowed",
+        "data_bus_free",
+        "last_data_rank",
+        "rank_act_ready",
+        "rank_read_after_write",
+    )
+
+    def __init__(self, timings: DramTimings, ranks: int):
+        self._t = timings
+        # Earliest cycle any CAS may issue (tCCD).
+        self.next_cas_allowed = 0
+        # Cycle at which the data bus becomes free.
+        self.data_bus_free = 0
+        # Rank that last drove the data bus (for tRTRS).
+        self.last_data_rank = -1
+        # Per-rank earliest ACTIVATE (tRRD).
+        self.rank_act_ready = [0] * ranks
+        # Per-rank earliest READ after a WRITE to that rank (tWTR).
+        self.rank_read_after_write = [0] * ranks
+
+    # -- legality checks ---------------------------------------------------
+
+    def can_activate(self, rank: int, now: int) -> bool:
+        return now >= self.rank_act_ready[rank]
+
+    def cas_issue_ok(self, rank: int, is_write: bool, now: int) -> bool:
+        """True if a CAS to ``rank`` may issue at ``now``.
+
+        The data bus is modelled as a small queue: a CAS whose natural
+        data start (tCL/tWL after issue) would collide with the previous
+        burst has its data pushed back to the bus-free point (plus tRTRS
+        on a rank switch).  Without this, a same-rank row-hit train that
+        fills every tCCD slot would lock all other ranks out of the
+        candidate set indefinitely — a greedy arbiter can never "wait two
+        cycles" for a rank switch.  The push-back is bounded by
+        tRTRS + burst, so the idealisation is at most a couple of cycles.
+        """
+        if now < self.next_cas_allowed:
+            return False
+        if not is_write and now < self.rank_read_after_write[rank]:
+            return False
+        return True
+
+    # -- command effects ---------------------------------------------------
+
+    def did_activate(self, rank: int, now: int) -> None:
+        self.rank_act_ready[rank] = max(self.rank_act_ready[rank], now + self._t.tRRD)
+
+    def did_cas(self, rank: int, is_write: bool, now: int) -> int:
+        """Record a CAS issue; returns the cycle the data burst completes."""
+        t = self._t
+        self.next_cas_allowed = max(self.next_cas_allowed, now + t.tCCD)
+        data_start = now + (t.tWL if is_write else t.tCL)
+        bus_free = self.data_bus_free
+        if self.last_data_rank not in (-1, rank):
+            bus_free += t.tRTRS
+        if data_start < bus_free:
+            data_start = bus_free
+        data_end = data_start + t.burst_cycles
+        self.data_bus_free = data_end
+        self.last_data_rank = rank
+        if is_write:
+            # Reads to this rank must wait tWTR after the write data ends.
+            self.rank_read_after_write[rank] = max(
+                self.rank_read_after_write[rank], data_end + t.tWTR
+            )
+        return data_end

@@ -1,0 +1,58 @@
+"""DRAM command vocabulary shared by the controller and all schedulers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CommandKind(enum.IntEnum):
+    """The five DDR3 commands the controller can issue."""
+
+    ACTIVATE = 0
+    PRECHARGE = 1
+    READ = 2
+    WRITE = 3
+    REFRESH = 4
+
+
+class CandidateCommand:
+    """A command that could legally issue this DRAM cycle.
+
+    The controller derives at most one candidate per queued transaction (the
+    next command that transaction needs) plus precharge candidates for row
+    conflicts, and hands the ready ones to the scheduler, which picks one.
+
+    Attributes:
+        kind: the command type.
+        txn: the transaction this command advances (None for refresh-driven
+            precharges).
+        rank, bank: target bank coordinates within the channel.
+        row: target row (for ACTIVATE) or open row (for PRECHARGE).
+        is_cas: True for READ/WRITE — the "column" commands FR-FCFS favours.
+    """
+
+    __slots__ = (
+        "kind", "txn", "rank", "bank", "row", "is_cas",
+        "blocked_by_hits", "hit_is_critical", "row_idle",
+    )
+
+    def __init__(self, kind, txn, rank, bank, row,
+                 blocked_by_hits=False, hit_is_critical=False, row_idle=1 << 30):
+        self.kind = kind
+        self.txn = txn
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.is_cas = kind == CommandKind.READ or kind == CommandKind.WRITE
+        # Precharge-policy metadata (meaningful for PRECHARGE candidates):
+        # whether the open row still has queued row hits, whether any such
+        # hit is itself critical, and how long the row has been idle.
+        self.blocked_by_hits = blocked_by_hits
+        self.hit_is_critical = hit_is_critical
+        self.row_idle = row_idle
+
+    def __repr__(self):
+        return (
+            f"CandidateCommand({self.kind.name}, rank={self.rank}, "
+            f"bank={self.bank}, row={self.row}, txn={self.txn!r})"
+        )

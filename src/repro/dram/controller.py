@@ -1,0 +1,369 @@
+"""Memory controller: per-channel transaction queues + command arbitration.
+
+Each channel has its own controller (the paper's quad-channel system has
+four independent arbiters).  Every DRAM command-clock cycle, a controller:
+
+1. services any due refresh (precharging open banks, then issuing REF);
+2. derives the set of *legally issuable* candidate commands from its
+   read queue (and write queue, when draining);
+3. asks its scheduler to pick one, and executes it.
+
+Reads complete when their data burst finishes; the completion callback is
+fired with the DRAM cycle of burst end, which :class:`MemorySystem`
+translates into a CPU-cycle event for the cache hierarchy.
+
+Write handling: writes (dirty L2 evictions) sit in a separate write queue
+and are drained in batches when the queue passes a high watermark or the
+read queue is empty — standard practice that keeps the read path (the
+paper's subject) clean.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramConfig
+from repro.dram.addressmap import AddressMap
+from repro.dram.bank import Bank
+from repro.dram.channel import ChannelTiming
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+
+
+class ChannelStats:
+    """Per-channel counters the experiments aggregate."""
+
+    __slots__ = (
+        "reads_done",
+        "writes_done",
+        "activates",
+        "precharges",
+        "refreshes",
+        "row_hit_reads",
+        "busy_cycles",
+        "queue_occupancy_sum",
+        "queue_samples",
+        "critical_queue_cycles",
+        "multi_critical_queue_cycles",
+        "starvation_promotions",
+        "crit_wait_sum",
+        "crit_wait_n",
+        "noncrit_wait_sum",
+        "noncrit_wait_n",
+        "write_wait_sum",
+    )
+
+    def __init__(self):
+        self.reads_done = 0
+        self.writes_done = 0
+        self.activates = 0
+        self.precharges = 0
+        self.refreshes = 0
+        self.row_hit_reads = 0
+        self.busy_cycles = 0
+        self.queue_occupancy_sum = 0
+        self.queue_samples = 0
+        self.critical_queue_cycles = 0
+        self.multi_critical_queue_cycles = 0
+        self.starvation_promotions = 0
+        # Queueing delay (arrival -> CAS issue), in DRAM cycles, split by
+        # criticality flag; the component scheduling redistributes.
+        self.crit_wait_sum = 0
+        self.crit_wait_n = 0
+        self.noncrit_wait_sum = 0
+        self.noncrit_wait_n = 0
+        self.write_wait_sum = 0
+
+
+class ChannelController:
+    """One DRAM channel: banks, timing, queues, and a pluggable scheduler."""
+
+    def __init__(self, channel_id: int, config: DramConfig, scheduler):
+        self.channel_id = channel_id
+        self.config = config
+        t = config.timings
+        self.timings = t
+        self.scheduler = scheduler
+        self.banks = [
+            [Bank(r, b, t) for b in range(config.banks_per_rank)]
+            for r in range(config.ranks_per_channel)
+        ]
+        self.timing = ChannelTiming(t, config.ranks_per_channel)
+        self.read_queue: list[Transaction] = []
+        self.write_queue: list[Transaction] = []
+        self.queue_capacity = config.transaction_queue_entries
+        self.write_capacity = config.transaction_queue_entries
+        # Write-drain hysteresis.
+        self._drain_high = max(4, config.transaction_queue_entries // 2)
+        self._drain_low = max(1, config.transaction_queue_entries // 8)
+        self._draining = False
+        # Stagger per-rank refresh deadlines so REFs don't collide.
+        interval = t.refresh_interval_cycles
+        stride = max(1, interval // max(1, config.ranks_per_channel))
+        self._next_refresh = [
+            interval + r * stride for r in range(config.ranks_per_channel)
+        ]
+        self._refresh_due = [False] * config.ranks_per_channel
+        self.stats = ChannelStats()
+        self._seq = 0
+
+    # -- queue interface ----------------------------------------------------
+
+    def can_accept(self, is_write: bool) -> bool:
+        queue = self.write_queue if is_write else self.read_queue
+        cap = self.write_capacity if is_write else self.queue_capacity
+        return len(queue) < cap
+
+    def enqueue(self, txn: Transaction, now: int) -> None:
+        """Add a transaction; caller must have checked :meth:`can_accept`."""
+        txn.arrival = now
+        txn.seq = self._seq
+        self._seq += 1
+        if txn.is_write:
+            self.write_queue.append(txn)
+        else:
+            self.read_queue.append(txn)
+        self.scheduler.on_enqueue(txn, now)
+
+    def pending(self) -> int:
+        return len(self.read_queue) + len(self.write_queue)
+
+    # -- per-DRAM-cycle operation --------------------------------------------
+
+    def step(self, now: int) -> None:
+        """Issue at most one command on this channel at DRAM cycle ``now``."""
+        stats = self.stats
+        nreads = len(self.read_queue)
+        if nreads:
+            stats.queue_occupancy_sum += nreads
+            stats.queue_samples += 1
+            ncrit = 0
+            for txn in self.read_queue:
+                if txn.critical:
+                    ncrit += 1
+                    if ncrit > 1:
+                        break
+            if ncrit >= 1:
+                stats.critical_queue_cycles += 1
+            if ncrit > 1:
+                stats.multi_critical_queue_cycles += 1
+
+        if self._service_refresh(now):
+            return
+        if not self.read_queue and not self.write_queue:
+            return
+
+        candidates = self._build_candidates(now)
+        if not candidates:
+            return
+        chosen = self.scheduler.select(candidates, self, now)
+        if chosen is not None:
+            self._execute(chosen, now)
+            self.scheduler.on_command(chosen, now)
+
+    # -- refresh ------------------------------------------------------------
+
+    def _service_refresh(self, now: int) -> bool:
+        """Handle due refreshes; returns True if this cycle's slot was used."""
+        t = self.timings
+        for rank in range(self.config.ranks_per_channel):
+            if not self._refresh_due[rank]:
+                if now >= self._next_refresh[rank]:
+                    self._refresh_due[rank] = True
+                else:
+                    continue
+            # Precharge any open bank first (one command per cycle).
+            banks = self.banks[rank]
+            all_closed = True
+            for bank in banks:
+                if bank.is_open():
+                    all_closed = False
+                    if now >= bank.pre_ready:
+                        bank.do_precharge(now)
+                        self.stats.precharges += 1
+                        return True
+            if not all_closed:
+                continue
+            if all(now >= bank.act_ready for bank in banks):
+                done = now + t.tRFC
+                for bank in banks:
+                    bank.block_until(done)
+                self._next_refresh[rank] += t.refresh_interval_cycles
+                self._refresh_due[rank] = False
+                self.stats.refreshes += 1
+                return True
+        return False
+
+    # -- candidate generation -------------------------------------------------
+
+    def _drain_writes_now(self) -> bool:
+        if self.config.unified_queue:
+            return bool(self.write_queue)
+        if self._draining:
+            if len(self.write_queue) <= self._drain_low:
+                self._draining = False
+        elif len(self.write_queue) >= self._drain_high or (
+            not self.read_queue and self.write_queue
+        ):
+            self._draining = True
+        return self._draining
+
+    def _build_candidates(self, now: int):
+        """One legally issuable command per transaction needing service."""
+        work = self.read_queue
+        if self._drain_writes_now():
+            work = self.read_queue + self.write_queue
+
+        # Banks whose open row still has pending hits: precharging them is
+        # a *policy* decision, so candidates carry the metadata and the
+        # scheduler decides (FR-FCFS never closes such a row; criticality
+        # schedulers may, for a sufficiently urgent conflict).
+        banks = self.banks
+        protected = set()
+        protected_critical = set()
+        for txn in work:
+            loc = txn.loc
+            bank = banks[loc.rank][loc.bank]
+            if bank.open_row == loc.row:
+                key = (loc.rank, loc.bank)
+                protected.add(key)
+                if txn.critical:
+                    protected_critical.add(key)
+
+        timing = self.timing
+        candidates = []
+        seen_bank_cmd = set()
+        for txn in work:
+            loc = txn.loc
+            rank, bindex, row = loc.rank, loc.bank, loc.row
+            if self._refresh_due[rank]:
+                continue
+            bank = banks[rank][bindex]
+            open_row = bank.open_row
+            if open_row == row:
+                if now >= bank.cas_ready and timing.cas_issue_ok(
+                    rank, txn.is_write, now
+                ):
+                    kind = CommandKind.WRITE if txn.is_write else CommandKind.READ
+                    candidates.append(CandidateCommand(kind, txn, rank, bindex, row))
+            elif open_row is None:
+                key = (CommandKind.ACTIVATE, rank, bindex)
+                if key in seen_bank_cmd:
+                    continue
+                if now >= bank.act_ready and timing.can_activate(rank, now):
+                    seen_bank_cmd.add(key)
+                    candidates.append(
+                        CandidateCommand(CommandKind.ACTIVATE, txn, rank, bindex, row)
+                    )
+            else:
+                key = (CommandKind.PRECHARGE, rank, bindex)
+                if key in seen_bank_cmd:
+                    continue
+                if now >= bank.pre_ready:
+                    seen_bank_cmd.add(key)
+                    bkey = (rank, bindex)
+                    candidates.append(
+                        CandidateCommand(
+                            CommandKind.PRECHARGE, txn, rank, bindex, open_row,
+                            blocked_by_hits=bkey in protected,
+                            hit_is_critical=bkey in protected_critical,
+                            row_idle=now - bank.last_use,
+                        )
+                    )
+        return candidates
+
+    # -- command execution ------------------------------------------------------
+
+    def _execute(self, cmd: CandidateCommand, now: int) -> None:
+        bank = self.banks[cmd.rank][cmd.bank]
+        stats = self.stats
+        stats.busy_cycles += 1
+        kind = cmd.kind
+        if kind == CommandKind.ACTIVATE:
+            bank.do_activate(cmd.row, now, opened_by=cmd.txn.seq)
+            self.timing.did_activate(cmd.rank, now)
+            stats.activates += 1
+        elif kind == CommandKind.PRECHARGE:
+            bank.do_precharge(now)
+            stats.precharges += 1
+        elif kind == CommandKind.READ:
+            txn = cmd.txn
+            # A read is a row-buffer hit if it reused a row someone else's
+            # ACTIVATE (or a previous access) opened.
+            txn.row_hit = bank.opened_by != txn.seq
+            bank.do_read(now)
+            data_end = self.timing.did_cas(cmd.rank, False, now)
+            self.read_queue.remove(txn)
+            stats.reads_done += 1
+            if txn.row_hit:
+                stats.row_hit_reads += 1
+            wait = now - txn.arrival
+            if txn.critical:
+                stats.crit_wait_sum += wait
+                stats.crit_wait_n += 1
+            else:
+                stats.noncrit_wait_sum += wait
+                stats.noncrit_wait_n += 1
+            if txn.callback is not None:
+                txn.callback(data_end)
+        elif kind == CommandKind.WRITE:
+            txn = cmd.txn
+            bank.do_write(now)
+            data_end = self.timing.did_cas(cmd.rank, True, now)
+            self.write_queue.remove(txn)
+            stats.writes_done += 1
+            stats.write_wait_sum += now - txn.arrival
+            if txn.callback is not None:
+                txn.callback(data_end)
+        else:
+            raise ValueError(f"scheduler returned unexpected command {cmd!r}")
+
+
+class MemorySystem:
+    """All channels plus the CPU-clock/DRAM-clock boundary.
+
+    The CPU domain calls :meth:`step` once per CPU cycle; the controllers
+    advance on DRAM command-clock boundaries (every
+    ``cpu_cycles_per_dram_cycle`` CPU cycles).  Read completions are returned
+    as ``(txn, cpu_cycle)`` pairs for the cache hierarchy to consume.
+    """
+
+    def __init__(self, config: DramConfig, scheduler_factory):
+        self.config = config
+        self.address_map = AddressMap(config)
+        self.channels = [
+            ChannelController(c, config, scheduler_factory(c))
+            for c in range(config.channels)
+        ]
+        self._ratio = config.cpu_ratio
+
+    # -- request path -----------------------------------------------------------
+
+    def make_transaction(self, address: int, **kwargs) -> Transaction:
+        return Transaction(address, self.address_map.locate(address), **kwargs)
+
+    def try_enqueue(self, txn: Transaction, cpu_now: int) -> bool:
+        """Queue ``txn`` if its channel has room; False => caller retries."""
+        channel = self.channels[txn.loc.channel]
+        if not channel.can_accept(txn.is_write):
+            return False
+        channel.enqueue(txn, cpu_now // self._ratio)
+        return True
+
+    # -- clocking ----------------------------------------------------------------
+
+    def step(self, cpu_now: int) -> None:
+        """Advance controllers if ``cpu_now`` is a DRAM clock edge.
+
+        Completion delivery happens through each transaction's callback,
+        which receives the DRAM cycle at which its data burst ends.
+        """
+        if cpu_now % self._ratio:
+            return
+        dram_now = cpu_now // self._ratio
+        for channel in self.channels:
+            channel.step(dram_now)
+
+    def dram_to_cpu(self, dram_cycle: int) -> int:
+        return dram_cycle * self._ratio
+
+    def pending(self) -> int:
+        return sum(channel.pending() for channel in self.channels)

@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes ``run(...) -> ExperimentResult`` plus a ``main()``
+that prints the regenerated rows.  ``repro.experiments.registry`` maps
+experiment ids ("fig3", "table5", ...) to their run functions.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_run,
+    clear_run_cache,
+    default_apps,
+    default_seeds,
+    experiment_scale,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "cached_run",
+    "clear_run_cache",
+    "default_apps",
+    "default_seeds",
+    "experiment_scale",
+]

@@ -1,0 +1,190 @@
+"""Shared experiment machinery: run cache, seed averaging, result tables.
+
+Simulation runs are memoised process-wide, so the FR-FCFS baseline an
+experiment needs is computed once even when several figures share it.
+Scales are environment-tunable for the benchmark harness:
+
+* ``REPRO_INSTRUCTIONS`` — instructions per core (default 12,000);
+* ``REPRO_SEEDS``        — seeds averaged per data point (default 1);
+* ``REPRO_APPS``         — comma-separated subset of parallel apps.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+
+from repro.config import SimScale, SystemConfig
+from repro.sim.runner import (
+    run_application_alone,
+    run_multiprogrammed_workload,
+    run_parallel_workload,
+)
+from repro.workloads.parallel import PARALLEL_APP_NAMES
+
+
+def experiment_scale(seed: int = 1) -> SimScale:
+    instructions = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
+    warmup = max(500, instructions // 10)
+    return SimScale(
+        instructions_per_core=instructions, warmup_instructions=warmup, seed=seed
+    )
+
+
+def default_seeds() -> tuple[int, ...]:
+    n = int(os.environ.get("REPRO_SEEDS", "1"))
+    return tuple(range(1, n + 1))
+
+
+def default_apps() -> tuple[str, ...]:
+    env = os.environ.get("REPRO_APPS")
+    if env:
+        return tuple(a.strip() for a in env.split(",") if a.strip())
+    return PARALLEL_APP_NAMES
+
+
+#: Subset used by the sensitivity sweeps (Figures 8, 9, 11), which the
+#: paper reports as averages only.
+SENSITIVITY_APPS = ("art", "fft", "mg", "swim")
+
+_RUN_CACHE: dict = {}
+
+
+def clear_run_cache() -> None:
+    _RUN_CACHE.clear()
+
+
+def _config_key(config: SystemConfig | None):
+    if config is None:
+        return None
+    d = config.dram
+    return (
+        config.cores,
+        config.core.load_queue_entries,
+        config.l1d.mshr_entries,
+        config.l2.mshr_entries,
+        config.prefetcher.enabled,
+        config.prefetcher.streams,
+        d.timings.name,
+        d.channels,
+        d.ranks_per_channel,
+    )
+
+
+def _provider_key(spec):
+    if spec is None or spec == "null":
+        return None
+    kind, kwargs = spec
+    return (kind, tuple(sorted((k, str(v)) for k, v in kwargs.items())))
+
+
+def cached_run(
+    kind: str,
+    workload: str,
+    scheduler: str = "fr-fcfs",
+    provider_spec=None,
+    config: SystemConfig | None = None,
+    seed: int = 1,
+    scheduler_kwargs: dict | None = None,
+    slot: int | None = None,
+):
+    """Run (or fetch) one simulation.
+
+    ``kind`` is "parallel", "bundle", or "alone".
+    """
+    key = (
+        kind,
+        workload,
+        scheduler,
+        _provider_key(provider_spec),
+        _config_key(config),
+        seed,
+        tuple(sorted((scheduler_kwargs or {}).items())),
+        slot,
+        int(os.environ.get("REPRO_INSTRUCTIONS", "12000")),
+    )
+    result = _RUN_CACHE.get(key)
+    if result is not None:
+        return result
+    scale = experiment_scale(seed)
+    if kind == "parallel":
+        result = run_parallel_workload(
+            workload, scheduler, provider_spec, config, scale, scheduler_kwargs
+        )
+    elif kind == "bundle":
+        result = run_multiprogrammed_workload(
+            workload, scheduler, provider_spec, config, scale, scheduler_kwargs
+        )
+    elif kind == "alone":
+        result = run_application_alone(workload, slot, scheduler, config, scale)
+    else:
+        raise ValueError(f"unknown run kind {kind!r}")
+    _RUN_CACHE[key] = result
+    return result
+
+
+def mean_speedup(app, scheduler, provider_spec, config=None, seeds=None,
+                 scheduler_kwargs=None, baseline_scheduler="fr-fcfs",
+                 baseline_config=None, baseline_provider=None) -> float:
+    """Seed-averaged speedup of a configuration over its baseline."""
+    seeds = seeds or default_seeds()
+    values = []
+    for seed in seeds:
+        base = cached_run(
+            "parallel", app, baseline_scheduler,
+            baseline_provider, baseline_config or config, seed,
+        )
+        conf = cached_run(
+            "parallel", app, scheduler, provider_spec, config, seed,
+            scheduler_kwargs=scheduler_kwargs,
+        )
+        values.append(base.cycles / conf.cycles)
+    return statistics.mean(values)
+
+
+class ExperimentResult:
+    """Rows of one regenerated figure/table plus a plain-text renderer."""
+
+    def __init__(self, experiment_id: str, title: str, columns, rows,
+                 notes: str = ""):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = [dict(r) for r in rows]
+        self.notes = notes
+
+    def table(self) -> str:
+        widths = {
+            c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
+            if self.rows else len(str(c))
+            for c in self.columns
+        }
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(str(c).ljust(widths[c]) for c in self.columns))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in self.columns)
+            )
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def column(self, name):
+        return [row.get(name) for row in self.rows]
+
+    def __repr__(self):
+        return f"ExperimentResult({self.experiment_id}, rows={len(self.rows)})"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geo_or_mean(values) -> float:
+    """Arithmetic mean, as the paper averages speedups."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,78 @@
+"""Figure 9: load-queue size sweep (32 / 48 / 64 entries).
+
+Speedups relative to the 32-entry-LQ FR-FCFS machine.  Paper: 48 entries
+removes most load-queue capacity stalls; criticality still gains 6.4%
+(Binary) / 8.3% (MaxStallTime) there, and 64 entries changes little.
+"""
+
+from __future__ import annotations
+
+
+from repro.config import SystemConfig
+from repro.core.cbp import CbpMetric
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_run,
+    default_seeds,
+    geo_or_mean,
+    SENSITIVITY_APPS,
+)
+
+LQ_SIZES = (32, 48, 64)
+CONFIGS = (
+    ("FR-FCFS", "fr-fcfs", None),
+    ("Binary", "casras-crit", ("cbp", {"entries": 64, "metric": CbpMetric.BINARY})),
+    ("MaxStallTime", "casras-crit",
+     ("cbp", {"entries": 64, "metric": CbpMetric.MAX_STALL})),
+)
+
+
+def _system(lq: int) -> SystemConfig:
+    base = SystemConfig()
+    return base.scaled(core=base.core.scaled(load_queue_entries=lq))
+
+
+def run(apps=SENSITIVITY_APPS, seeds=None) -> ExperimentResult:
+    seeds = seeds or default_seeds()
+    rows = []
+    lq_full = {}
+    for lq in LQ_SIZES:
+        row = {"load_queue": lq}
+        for label, scheduler, spec in CONFIGS:
+            speeds = []
+            for app in apps:
+                for seed in seeds:
+                    base = cached_run(
+                        "parallel", app, "fr-fcfs", None, _system(32), seed
+                    )
+                    conf = cached_run(
+                        "parallel", app, scheduler, spec, _system(lq), seed
+                    )
+                    speeds.append(base.cycles / conf.cycles)
+                    if label == "FR-FCFS":
+                        stats = conf.core_stats
+                        lq_full.setdefault(lq, []).append(
+                            sum(s.lq_full_cycles for s in stats)
+                            / max(1, sum(conf.finish_cycles))
+                        )
+            row[label] = geo_or_mean(speeds)
+        row["lq_full_frac"] = geo_or_mean(lq_full.get(lq, [0.0]))
+        rows.append(row)
+    return ExperimentResult(
+        "fig9",
+        "Load-queue size sweep (speedup vs 32-entry FR-FCFS)",
+        ["load_queue", "FR-FCFS", "Binary", "MaxStallTime", "lq_full_frac"],
+        rows,
+        notes=(
+            "Paper shape: capacity stalls mostly vanish by 48 entries; "
+            "criticality gains persist (Binary 1.064, MaxStallTime 1.083)."
+        ),
+    )
+
+
+def main():
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

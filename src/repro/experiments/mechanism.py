@@ -1,0 +1,121 @@
+"""Mechanism validation (reproduction extension, not a paper figure).
+
+A controlled heterogeneous scenario that isolates the proposal's core
+economics: latency-bound cores issuing sparse serial misses share the
+memory system with bandwidth-bound cores streaming continuously.
+Criticality-aware scheduling should accelerate the latency-bound cores
+substantially while costing the bandwidth-bound cores almost nothing
+(their finish time is total-bus-backlog-bound, not order-bound).
+
+This is the regime in which the paper's 9-14% gains arise; at the scaled-
+down synthetic-app operating point the effect is strongly attenuated (see
+EXPERIMENTS.md), so this experiment demonstrates the machinery delivers
+the full-size effect when the workload presents the required structure.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.config import DramConfig, SystemConfig
+from repro.cpu.instruction import INT, LOAD, STORE, Trace
+from repro.experiments.common import ExperimentResult, experiment_scale
+from repro.sim.system import System
+
+
+def latency_bound_trace(n: int, gap: int = 120, core_id: int = 0) -> Trace:
+    """Sparse independent misses, each gating ~gap instructions of work."""
+    trace = Trace("latency-bound")
+    base = (core_id + 1) << 36
+    addr = base
+    while len(trace) < n:
+        for i in range(gap):
+            trace.append(INT, 1000 + (i % 32), 0, 1 if i else 0)
+        trace.append(LOAD, 2000, addr, 0)
+        trace.append(INT, 2001, 0, 1)
+        trace.append(INT, 2002, 0, 1)
+        addr += (1 << 14) + 1024
+    return trace
+
+
+def bandwidth_bound_trace(n: int, core_id: int = 0) -> Trace:
+    """A continuous line-granular store stream (memset/array-init-like).
+
+    Stores retire through the store buffer and never block commit, so this
+    core's DRAM traffic — read-for-ownership fetches plus eventual dirty
+    write-backs — is exactly the *non-critical* population the scheduler
+    should defer: the core is bandwidth-bound, and its finish time depends
+    on aggregate service, not per-request latency.
+    """
+    trace = Trace("bandwidth-bound")
+    addr = (core_id + 1) << 36 | (1 << 35)
+    k = 0
+    while len(trace) < n:
+        trace.append(STORE, 3000 + (k % 8), addr, 0)
+        for i in range(4):
+            trace.append(INT, 4000 + i, 0, 1 if i else 0)
+        addr += 64
+        k += 1
+    return trace
+
+
+SCHEDULERS = ("fr-fcfs", "casras-crit", "crit-casras")
+
+
+def run(latency_cores: int = 1, cores: int = 2, instructions: int | None = None,
+        channels: int = 1) -> ExperimentResult:
+    # This two-core scenario is cheap, and the predictor needs a few
+    # thousand walker misses to stabilise: use a fixed floor rather than
+    # the (possibly small) REPRO_INSTRUCTIONS experiment scale.
+    scale = experiment_scale()
+    n = instructions or max(24_000, scale.instructions_per_core)
+    config = SystemConfig(cores=cores, dram=DramConfig(channels=channels))
+    results = {}
+    for scheduler in SCHEDULERS:
+        traces = []
+        for core in range(config.cores):
+            if core < latency_cores:
+                traces.append(latency_bound_trace(n, core_id=core))
+            else:
+                traces.append(bandwidth_bound_trace(n, core_id=core))
+        system = System(
+            config, traces, scheduler=scheduler,
+            provider_spec=("cbp", {"entries": None}),
+        )
+        results[scheduler] = system.run(max_cycles=60 * n * 10)
+    base = results["fr-fcfs"]
+    lat = slice(0, latency_cores)
+    bw = slice(latency_cores, config.cores)
+    rows = []
+    for scheduler in SCHEDULERS[1:]:
+        res = results[scheduler]
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "latency_core_speedup": statistics.mean(base.finish_cycles[lat])
+                / statistics.mean(res.finish_cycles[lat]),
+                "bandwidth_core_speedup": statistics.mean(base.finish_cycles[bw])
+                / statistics.mean(res.finish_cycles[bw]),
+            }
+        )
+    return ExperimentResult(
+        "mechanism",
+        "Controlled heterogeneous validation of criticality scheduling",
+        ["scheduler", "latency_core_speedup", "bandwidth_core_speedup"],
+        rows,
+        notes=(
+            "Crit-CASRAS preempts the hog's row-hit train (critical RAS > "
+            "non-critical CAS) and accelerates the latency-bound core "
+            "dramatically at small cost to the bandwidth hog; CASRAS-Crit "
+            "cannot preempt an active train.  The two arrangements, equal "
+            "at the paper's operating point, differ sharply here."
+        ),
+    )
+
+
+def main():
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

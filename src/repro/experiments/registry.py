@@ -1,0 +1,56 @@
+"""Experiment registry: id -> run callable."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ablation,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    mechanism,
+    naive,
+    overhead,
+    reset,
+    table5,
+    table7,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "table5": table5.run,
+    "table7": table7.run,
+    "naive": naive.run,
+    "reset": reset.run,
+    "overhead": overhead.run,
+    "mechanism": mechanism.run,
+    "ablation": ablation.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)

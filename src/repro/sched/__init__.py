@@ -1,0 +1,27 @@
+"""Memory schedulers: the baseline, the paper's proposal, and comparators.
+
+``SCHEDULERS`` / ``make_scheduler_factory`` are resolved lazily: the
+registry imports the criticality schedulers from :mod:`repro.core`, which
+itself depends on :mod:`repro.sched.base`, so an eager import here would be
+circular.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.fcfs import FcfsScheduler
+from repro.sched.frfcfs import FrFcfsScheduler
+
+__all__ = [
+    "FcfsScheduler",
+    "FrFcfsScheduler",
+    "SCHEDULERS",
+    "Scheduler",
+    "make_scheduler_factory",
+]
+
+
+def __getattr__(name):
+    if name in ("SCHEDULERS", "make_scheduler_factory"):
+        from repro.sched import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,65 @@
+"""ATLAS: Adaptive per-Thread Least-Attained-Service scheduling
+(Kim et al., HPCA 2010) — cited by the paper among the fairness-oriented
+multiprogrammed schedulers.
+
+Threads accumulate *attained service* (DRAM data-bus time consumed); the
+scheduler prioritises the thread with the least attained service, ranked
+over long quanta with exponential decay so short-term bursts don't flip
+the ordering.  Within a thread: row hits first, then age.
+"""
+
+from __future__ import annotations
+
+from repro.dram.command import CommandKind
+from repro.sched.base import Scheduler
+
+
+class AtlasScheduler(Scheduler):
+    """Least-attained-service thread ranking."""
+
+    name = "atlas"
+
+    def __init__(self, quantum: int = 10_000, decay: float = 0.875,
+                 threads: int = 8):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.quantum = quantum
+        self.decay = decay
+        self.threads = threads
+        self._service = [0.0] * threads
+        self._quantum_service = [0.0] * threads
+        self._next_quantum = quantum
+        self.quanta = 0
+
+    def _tick(self, now: int) -> None:
+        if now >= self._next_quantum:
+            for core in range(self.threads):
+                self._service[core] = (
+                    self.decay * self._service[core]
+                    + (1.0 - self.decay) * self._quantum_service[core]
+                )
+            self._quantum_service = [0.0] * self.threads
+            self._next_quantum = now + self.quantum
+            self.quanta += 1
+
+    def on_command(self, cmd, now) -> None:
+        if cmd.is_cas and cmd.txn is not None and 0 <= cmd.txn.core < self.threads:
+            # One burst of data-bus time attained.
+            self._quantum_service[cmd.txn.core] += 1.0
+
+    def _rank(self, core: int) -> float:
+        if not 0 <= core < self.threads:
+            return float("inf")
+        return self._service[core] + self._quantum_service[core]
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        self._tick(now)
+        best = None
+        best_key = None
+        for cand in candidates:
+            key = (self._rank(cand.txn.core), not cand.is_cas, cand.txn.seq)
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best

@@ -1,0 +1,56 @@
+"""Scheduler interface.
+
+A scheduler instance is attached to one channel controller.  Every DRAM
+cycle with work pending, the controller derives the set of legally issuable
+commands and calls :meth:`Scheduler.select`; the scheduler returns one of
+them (or None to idle the command bus, which no paper scheduler ever does
+when a command is ready, but the interface allows it).
+
+Schedulers that track request streams (TCM, PAR-BS, MORSE) also get
+:meth:`on_enqueue` / :meth:`on_command` notifications.
+"""
+
+from __future__ import annotations
+
+from repro.dram.command import CandidateCommand, CommandKind
+
+
+class Scheduler:
+    """Base class: common hooks plus the oldest-first helper."""
+
+    name = "base"
+
+    def select(self, candidates, controller, now):
+        """Pick one of ``candidates`` to issue at DRAM cycle ``now``."""
+        raise NotImplementedError
+
+    # -- open-page precharge policy -----------------------------------------
+
+    def pre_admissible(self, cand, controller) -> bool:
+        """May this PRECHARGE candidate be issued under this policy?
+
+        The default open-page rule: never close a row that still has
+        queued hits, and let a row idle a little before closing it for a
+        conflict.  Criticality-aware schedulers relax this for urgent
+        conflicts.
+        """
+        if cand.kind != CommandKind.PRECHARGE:
+            return True
+        if cand.blocked_by_hits:
+            return False
+        return cand.row_idle >= controller.config.row_idle_precharge_cycles
+
+    def admissible(self, candidates, controller):
+        """Filter candidates through :meth:`pre_admissible`."""
+        return [c for c in candidates if self.pre_admissible(c, controller)]
+
+    def on_enqueue(self, txn, now) -> None:
+        """A transaction entered this channel's queue."""
+
+    def on_command(self, cmd: CandidateCommand, now) -> None:
+        """A command (possibly chosen by us) was issued."""
+
+    @staticmethod
+    def oldest(candidates):
+        """The candidate whose transaction arrived first (FCFS tiebreak)."""
+        return min(candidates, key=lambda c: c.txn.seq)

@@ -1,0 +1,21 @@
+"""Plain FCFS: strictly oldest-first, ignoring row-buffer state.
+
+Not evaluated in the paper but kept as the canonical naive baseline for
+tests and ablations (FR-FCFS must beat it on any row-local workload).
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class FcfsScheduler(Scheduler):
+    """First-Come-First-Served."""
+
+    name = "fcfs"
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        if not candidates:
+            return None
+        return self.oldest(candidates)

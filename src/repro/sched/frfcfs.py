@@ -1,0 +1,28 @@
+"""FR-FCFS (Rixner et al., ISCA 2000): the paper's baseline.
+
+Column (CAS) commands to already-open rows are favoured over row (RAS)
+commands; ties break oldest-first.  With the open-page row policy this
+maximises row-buffer hit rate while bounding queueing delay by age.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class FrFcfsScheduler(Scheduler):
+    """First-Ready, First-Come-First-Served."""
+
+    name = "fr-fcfs"
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        best = None
+        best_key = None
+        for cand in candidates:
+            # CAS (is_cas=True) sorts before RAS; then oldest (lowest seq).
+            key = (not cand.is_cas, cand.txn.seq)
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best

@@ -1,0 +1,41 @@
+"""Minimalist Open-page scheduling (Kaseridis, Stuecheli & John,
+MICRO 2011) — the paper's Section 6.2 example of *memory-side*
+"criticality" (request importance inferred at the controller, in contrast
+to the paper's processor-side signal).
+
+Threads with low memory-level parallelism (few outstanding requests) are
+ranked above high-MLP threads (each request of a low-MLP thread is more
+likely to gate its progress); demand requests rank above prefetches; ties
+break row-hit-first then oldest.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class MinimalistScheduler(Scheduler):
+    """MLP-ranked open-page scheduler."""
+
+    name = "minimalist"
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        # Outstanding requests per thread = that thread's current MLP.
+        mlp: dict[int, int] = {}
+        for txn in controller.read_queue:
+            mlp[txn.core] = mlp.get(txn.core, 0) + 1
+        best = None
+        best_key = None
+        for cand in candidates:
+            txn = cand.txn
+            key = (
+                txn.is_prefetch,
+                mlp.get(txn.core, 0),
+                not cand.is_cas,
+                txn.seq,
+            )
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best

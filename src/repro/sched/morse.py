@@ -1,0 +1,170 @@
+"""MORSE-P: self-optimising (reinforcement-learning) memory scheduler
+(Ipek et al., ISCA 2008; Mukundan & Martínez, HPCA 2012).
+
+Each DRAM cycle the scheduler examines up to ``commands_checked`` of the
+oldest *ready* commands (the Figure 11 hardware restriction: each
+additional evaluated command costs a replicated CMAC way), computes a
+long-term value Q(s, a) for issuing each, and picks the best (epsilon-
+greedy).  Q is a CMAC-style linear approximator over quantised features of
+the command and queue state — our feature set follows the paper's Table 6,
+including the "ROB position relative to other commands from the same core"
+processor-side attribute, with the criticality attributes enabled for the
+Crit-RL variant.
+
+The paper's MORSE runs continuously trained over hundreds of millions of
+instructions.  At reproduction scale we model a *trained* controller as an
+informed prior (bus-utilisation-driven preferences: CAS over RAS, oldest
+first, same-core head requests first) plus online SARSA refinement of the
+CMAC weights — see DESIGN.md, "Substitutions".
+
+Reward follows MORSE: +1 for every READ/WRITE issued (data-bus
+utilisation), 0 for row commands.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dram.command import CommandKind
+from repro.sched.base import Scheduler
+
+
+class MorseScheduler(Scheduler):
+    """SARSA + CMAC command scheduler (MORSE-P)."""
+
+    name = "morse-p"
+
+    def __init__(
+        self,
+        commands_checked: int = 24,
+        tilings: int = 4,
+        alpha: float = 0.08,
+        gamma: float = 0.95,
+        epsilon: float = 0.02,
+        use_criticality: bool = False,
+        seed: int = 7,
+    ):
+        if commands_checked < 1:
+            raise ValueError(
+                f"commands_checked must be >= 1, got {commands_checked}"
+            )
+        self.commands_checked = commands_checked
+        self.tilings = tilings
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.use_criticality = use_criticality
+        self._rng = random.Random(seed)
+        self._weights: dict = {}
+        self._prev_keys = None
+        self._prev_q = 0.0
+        self._prev_reward = 0.0
+        self.decisions = 0
+        self.exploration_moves = 0
+
+    # -- feature extraction ----------------------------------------------------
+
+    def _features(self, cand, controller, now):
+        txn = cand.txn
+        reads = controller.read_queue
+        n_reads = len(reads)
+        same_rank = 0
+        same_core_older = 0
+        for other in reads:
+            if other.loc.rank == cand.rank:
+                same_rank += 1
+            if other.core == txn.core and other.seq < txn.seq:
+                same_core_older += 1
+        open_row_writes = 0
+        banks = controller.banks
+        for w in controller.write_queue:
+            bank = banks[w.loc.rank][w.loc.bank]
+            if bank.open_row == w.loc.row:
+                open_row_writes += 1
+        age = now - txn.arrival
+        features = (
+            int(cand.kind),
+            min(n_reads // 8, 7),
+            min(same_rank // 4, 7),
+            min(open_row_writes // 2, 7),
+            min(same_core_older, 7),
+            min(age // 64, 7),
+        )
+        if self.use_criticality:
+            features += (1 if txn.critical else 0, min(txn.magnitude // 256, 7))
+        return features
+
+    def _q_learned(self, keys) -> float:
+        weights = self._weights
+        return sum(weights.get(k, 0.0) for k in keys)
+
+    def _tile_keys(self, features):
+        return [(t,) + features for t in range(self.tilings)]
+
+    def _prior(self, cand, controller, now, same_core_older) -> float:
+        """Trained-controller initialisation (see module docstring)."""
+        txn = cand.txn
+        value = 0.0
+        if cand.is_cas:
+            value += 8.0
+        age = now - txn.arrival
+        value += min(age, 2048) / 2048.0
+        if same_core_older == 0:
+            # The oldest request of a core: likely the one its ROB head is
+            # waiting on (Table 6's ROB-position attribute).
+            value += 1.5
+        if self.use_criticality and txn.critical:
+            value += 2.0 + min(txn.magnitude, 4096) / 4096.0
+        return value
+
+    # -- decision ----------------------------------------------------------------
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        if not candidates:
+            return None
+        # Hardware restriction: only the N oldest ready commands compete.
+        if len(candidates) > self.commands_checked:
+            candidates = sorted(candidates, key=lambda c: c.txn.seq)
+            candidates = candidates[: self.commands_checked]
+
+        scored = []
+        for cand in candidates:
+            features = self._features(cand, controller, now)
+            keys = self._tile_keys(features)
+            q = self._q_learned(keys) + self._prior(
+                cand, controller, now, features[4]
+            )
+            scored.append((q, cand, keys))
+
+        if self._rng.random() < self.epsilon:
+            chosen_q, chosen, chosen_keys = self._rng.choice(scored)
+            self.exploration_moves += 1
+        else:
+            chosen_q, chosen, chosen_keys = max(scored, key=lambda s: s[0])
+
+        self._sarsa_update(chosen_q)
+        self._prev_keys = chosen_keys
+        self._prev_q = chosen_q
+        self._prev_reward = 1.0 if chosen.is_cas else 0.0
+        self.decisions += 1
+        return chosen
+
+    def _sarsa_update(self, current_q: float) -> None:
+        if self._prev_keys is None:
+            return
+        delta = self._prev_reward + self.gamma * current_q - self._prev_q
+        step = self.alpha * delta / self.tilings
+        weights = self._weights
+        for key in self._prev_keys:
+            weights[key] = weights.get(key, 0.0) + step
+
+
+class CritRlScheduler(MorseScheduler):
+    """Crit-RL: MORSE with the CBP criticality attributes (Table 6)."""
+
+    name = "crit-rl"
+
+    def __init__(self, commands_checked: int = 24, **kwargs):
+        kwargs.setdefault("use_criticality", True)
+        super().__init__(commands_checked=commands_checked, **kwargs)

@@ -1,0 +1,77 @@
+"""PAR-BS: Parallelism-Aware Batch Scheduling (Mutlu & Moscibroda, ISCA'08).
+
+Requests are grouped into *batches*: when no marked requests remain, the
+oldest ``marking_cap`` requests per (thread, bank) are marked.  Marked
+requests are strictly prioritised over unmarked ones (bounding intra-thread
+unfairness), and within the batch threads are ranked shortest-job-first
+(the "max-total" rule: a thread's job length is its maximum per-bank marked
+count, then its total), so short threads finish and release their cores.
+
+Priority order: marked > row-hit (CAS over RAS) > thread rank > age.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class ParBsScheduler(Scheduler):
+    """Batch scheduler; the paper's multiprogrammed baseline."""
+
+    name = "par-bs"
+
+    def __init__(self, marking_cap: int = 5):
+        if marking_cap < 1:
+            raise ValueError(f"marking_cap must be >= 1, got {marking_cap}")
+        self.marking_cap = marking_cap
+        self._rank: dict[int, int] = {}
+        self.batches_formed = 0
+
+    # -- batching ------------------------------------------------------------
+
+    def _form_batch(self, controller) -> None:
+        """Mark up to ``marking_cap`` oldest reads per (thread, bank)."""
+        per_thread_bank: dict[tuple, list] = {}
+        for txn in controller.read_queue:
+            per_thread_bank.setdefault(
+                (txn.core, txn.loc.rank, txn.loc.bank), []
+            ).append(txn)
+        per_thread_counts: dict[int, list[int]] = {}
+        for (core, _rank, _bank), txns in per_thread_bank.items():
+            txns.sort(key=lambda t: t.seq)
+            marked = txns[: self.marking_cap]
+            for txn in marked:
+                txn.marked = True
+            per_thread_counts.setdefault(core, []).append(len(marked))
+        # Shortest-job-first thread ranking: (max per-bank, total) ascending.
+        ordering = sorted(
+            per_thread_counts.items(),
+            key=lambda item: (max(item[1]), sum(item[1]), item[0]),
+        )
+        self._rank = {core: i for i, (core, _c) in enumerate(ordering)}
+        self.batches_formed += 1
+
+    def _batch_active(self, controller) -> bool:
+        return any(txn.marked for txn in controller.read_queue)
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        if controller.read_queue and not self._batch_active(controller):
+            self._form_batch(controller)
+        default_rank = len(self._rank)
+        best = None
+        best_key = None
+        for cand in candidates:
+            txn = cand.txn
+            key = (
+                not txn.marked,
+                not cand.is_cas,
+                self._rank.get(txn.core, default_rank),
+                txn.seq,
+            )
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best

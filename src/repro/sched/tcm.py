@@ -1,0 +1,112 @@
+"""Thread Cluster Memory scheduling (Kim et al., MICRO 2010).
+
+Every quantum, threads are partitioned by memory intensity into a
+*latency-sensitive* cluster (the least intense threads, up to a bandwidth
+share threshold) and a *bandwidth-sensitive* cluster.  Latency-sensitive
+threads are always prioritised (they barely use memory, so serving them
+first costs the others little).  Within the bandwidth cluster, priorities
+are periodically *shuffled* so no thread is persistently last — TCM's
+fairness mechanism.
+
+Priority order: cluster > (shuffled) rank > row-hit > age.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class TcmScheduler(Scheduler):
+    """Throughput + fairness clustering scheduler."""
+
+    name = "tcm"
+
+    def __init__(
+        self,
+        quantum: int = 10_000,
+        shuffle_interval: int = 800,
+        latency_cluster_share: float = 0.15,
+        threads: int = 8,
+    ):
+        if not 0.0 < latency_cluster_share < 1.0:
+            raise ValueError(
+                f"latency_cluster_share must be in (0,1), got {latency_cluster_share}"
+            )
+        self.quantum = quantum
+        self.shuffle_interval = shuffle_interval
+        self.latency_cluster_share = latency_cluster_share
+        self.threads = threads
+        self._requests_this_quantum: dict[int, int] = {}
+        self._latency_cluster: set[int] = set()
+        self._bw_order: list[int] = list(range(threads))
+        self._next_quantum = quantum
+        self._next_shuffle = shuffle_interval
+        self.quanta = 0
+        self.shuffles = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def on_enqueue(self, txn, now) -> None:
+        if not txn.is_write and txn.core >= 0:
+            counts = self._requests_this_quantum
+            counts[txn.core] = counts.get(txn.core, 0) + 1
+
+    def _recluster(self, now: int) -> None:
+        counts = self._requests_this_quantum
+        total = sum(counts.values())
+        self._latency_cluster = set()
+        if total:
+            # Least-intense threads first, admitted while their cumulative
+            # bandwidth stays under the cluster share threshold.
+            budget = self.latency_cluster_share * total
+            acc = 0
+            for core in sorted(range(self.threads), key=lambda c: counts.get(c, 0)):
+                demand = counts.get(core, 0)
+                if acc + demand <= budget:
+                    self._latency_cluster.add(core)
+                    acc += demand
+                else:
+                    break
+        bw = [c for c in range(self.threads) if c not in self._latency_cluster]
+        # Nicest (least intense) first at quantum start.
+        self._bw_order = sorted(bw, key=lambda c: counts.get(c, 0))
+        self._requests_this_quantum = {}
+        self._next_quantum = now + self.quantum
+        self.quanta += 1
+
+    def _shuffle(self, now: int) -> None:
+        if self._bw_order:
+            self._bw_order = self._bw_order[1:] + self._bw_order[:1]
+        self._next_shuffle = now + self.shuffle_interval
+        self.shuffles += 1
+
+    def _tick(self, now: int) -> None:
+        if now >= self._next_quantum:
+            self._recluster(now)
+        if now >= self._next_shuffle:
+            self._shuffle(now)
+
+    # -- selection -----------------------------------------------------------------
+
+    def _thread_rank(self, core: int) -> int:
+        if core in self._latency_cluster:
+            return 0
+        try:
+            return 1 + self._bw_order.index(core)
+        except ValueError:
+            return 1 + len(self._bw_order)
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        self._tick(now)
+        best = None
+        best_key = None
+        for cand in candidates:
+            key = self._key(cand, now)
+            if best is None or key < best_key:
+                best = cand
+                best_key = key
+        return best
+
+    def _key(self, cand, now):
+        return (self._thread_rank(cand.txn.core), not cand.is_cas, cand.txn.seq)

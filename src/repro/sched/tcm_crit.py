@@ -1,0 +1,44 @@
+"""TCM+MaxStallTime (paper Section 5.8.2).
+
+Keeps TCM's thread rank as the primary priority; where TCM would fall back
+to FR-FCFS (within a rank), this scheduler applies criticality-aware
+CASRAS-Crit instead — the proposed best-of-both-worlds combination for
+high-contention systems.
+"""
+
+from __future__ import annotations
+
+from repro.sched.tcm import TcmScheduler
+
+_PROMOTED_MAGNITUDE = 1 << 28
+
+
+class TcmCritScheduler(TcmScheduler):
+    """TCM clustering with a criticality-aware intra-rank policy."""
+
+    name = "tcm+crit"
+
+    def __init__(self, starvation_cap: int = 6000, **tcm_kwargs):
+        super().__init__(**tcm_kwargs)
+        self.starvation_cap = starvation_cap
+
+    def pre_admissible(self, cand, controller) -> bool:
+        from repro.dram.command import CommandKind
+
+        if cand.kind != CommandKind.PRECHARGE:
+            return True
+        if cand.txn is not None and cand.txn.critical and not cand.hit_is_critical:
+            return True
+        if cand.blocked_by_hits:
+            return False
+        return cand.row_idle >= controller.config.row_idle_precharge_cycles
+
+    def _key(self, cand, now):
+        txn = cand.txn
+        if not txn.is_write and now - txn.arrival > self.starvation_cap:
+            urgency = _PROMOTED_MAGNITUDE
+        elif txn.critical:
+            urgency = max(1, txn.magnitude)
+        else:
+            urgency = 0
+        return (self._thread_rank(txn.core), not cand.is_cas, -urgency, txn.seq)

@@ -1,0 +1,19 @@
+"""Simulation driver: system wiring, cycle loop, statistics, runners."""
+
+from repro.sim.events import EventQueue
+from repro.sim.stats import SimResult
+from repro.sim.system import System
+from repro.sim.runner import (
+    run_parallel_workload,
+    run_multiprogrammed_workload,
+    speedup,
+)
+
+__all__ = [
+    "EventQueue",
+    "SimResult",
+    "System",
+    "run_multiprogrammed_workload",
+    "run_parallel_workload",
+    "speedup",
+]

@@ -1,0 +1,40 @@
+"""A deterministic discrete-event queue for the CPU clock domain.
+
+Events scheduled for the same cycle fire in scheduling order (a
+monotonically increasing sequence number breaks heap ties), which keeps
+whole-system runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class EventQueue:
+    """Min-heap of ``(cycle, seq, fn)`` callbacks."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = 0
+
+    def schedule(self, cycle: int, fn) -> None:
+        """Run ``fn()`` when the clock reaches ``cycle``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, self._seq, fn))
+
+    def run_due(self, now: int) -> int:
+        """Fire every event scheduled at or before ``now``; returns count."""
+        fired = 0
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, fn = heapq.heappop(heap)
+            fn()
+            fired += 1
+        return fired
+
+    def next_cycle(self) -> int | None:
+        """Cycle of the earliest pending event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)

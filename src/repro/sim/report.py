@@ -1,0 +1,68 @@
+"""Renderers for :class:`~repro.experiments.common.ExperimentResult`.
+
+Plain-text rendering lives on the result itself (``.table()``); this
+module adds Markdown and CSV for reports (EXPERIMENTS.md is assembled
+from these), plus a minimal ASCII bar chart for speedup-style columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+
+def to_markdown(result) -> str:
+    """GitHub-flavoured Markdown table."""
+    cols = result.columns
+    lines = [f"### {result.experiment_id}: {result.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c)) for c in cols) + " |"
+        )
+    if result.notes:
+        lines += ["", f"*{result.notes}*"]
+    return "\n".join(lines)
+
+
+def to_csv(result) -> str:
+    """CSV with a header row."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([_fmt(row.get(c)) for c in result.columns])
+    return buf.getvalue()
+
+
+def bar_chart(result, label_column, value_column, width: int = 40,
+              reference: float | None = 1.0) -> str:
+    """ASCII horizontal bars for one numeric column.
+
+    ``reference`` draws the bars relative to a baseline value (1.0 for
+    speedups); None scales to the maximum.
+    """
+    rows = [r for r in result.rows if isinstance(r.get(value_column), (int, float))]
+    if not rows:
+        return "(no numeric data)"
+    values = [r[value_column] for r in rows]
+    top = max(values + ([reference] if reference else []))
+    label_w = max(len(str(r[label_column])) for r in rows)
+    lines = []
+    for row in rows:
+        value = row[value_column]
+        filled = int(round(width * value / top)) if top else 0
+        lines.append(
+            f"{str(row[label_column]):<{label_w}}  "
+            f"{'#' * filled:<{width}}  {value:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,117 @@
+"""Convenience runners used by examples, tests, and every experiment."""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
+from repro.sim.stats import SimResult, speedup
+from repro.sim.system import System
+from repro.workloads.multiprog import BUNDLES, bundle_traces
+from repro.workloads.parallel import parallel_traces
+
+#: Safety cap: a run exceeding this many cycles per trace instruction is
+#: treated as a livelock and aborted (surfaces as ``hit_max_cycles``).
+_CYCLE_BUDGET_PER_INSTRUCTION = 60
+
+
+def _max_cycles(scale: SimScale) -> int:
+    total = scale.instructions_per_core + scale.warmup_instructions
+    return max(200_000, total * _CYCLE_BUDGET_PER_INSTRUCTION)
+
+
+def run_parallel_workload(
+    app: str,
+    scheduler: str = "fr-fcfs",
+    provider_spec=None,
+    config: SystemConfig | None = None,
+    scale: SimScale = DEFAULT_SCALE,
+    scheduler_kwargs: dict | None = None,
+    label: str | None = None,
+) -> SimResult:
+    """Run one Table 2 parallel app (8 threads) on the Table 1/3 machine."""
+    config = config or SystemConfig.parallel_default()
+    instructions = scale.instructions_per_core + scale.warmup_instructions
+    traces = parallel_traces(app, config.cores, instructions, seed=scale.seed)
+    system = System(
+        config,
+        traces,
+        scheduler=scheduler,
+        scheduler_kwargs=scheduler_kwargs,
+        provider_spec=provider_spec,
+        label=label or f"{app}/{scheduler}",
+    )
+    return system.run(max_cycles=_max_cycles(scale))
+
+
+def run_multiprogrammed_workload(
+    bundle: str,
+    scheduler: str = "par-bs",
+    provider_spec=None,
+    config: SystemConfig | None = None,
+    scale: SimScale = DEFAULT_SCALE,
+    scheduler_kwargs: dict | None = None,
+    label: str | None = None,
+) -> SimResult:
+    """Run one Table 4 bundle on the 4-core, 2-channel machine."""
+    config = config or SystemConfig.multiprogrammed_default()
+    instructions = scale.instructions_per_core + scale.warmup_instructions
+    traces = bundle_traces(bundle, instructions, seed=scale.seed)
+    system = System(
+        config,
+        traces,
+        scheduler=scheduler,
+        scheduler_kwargs=scheduler_kwargs,
+        provider_spec=provider_spec,
+        label=label or f"{bundle}/{scheduler}",
+    )
+    return system.run(max_cycles=_max_cycles(scale))
+
+
+def run_application_alone(
+    bundle: str,
+    slot: int,
+    scheduler: str = "par-bs",
+    config: SystemConfig | None = None,
+    scale: SimScale = DEFAULT_SCALE,
+) -> SimResult:
+    """One bundle application running alone (weighted-speedup denominator).
+
+    The other cores execute empty traces, so the application has the whole
+    memory system to itself — the paper's "executing alone in the baseline
+    PAR-BS configuration".
+    """
+    from repro.cpu.instruction import Trace
+
+    config = config or SystemConfig.multiprogrammed_default()
+    instructions = scale.instructions_per_core + scale.warmup_instructions
+    traces = bundle_traces(bundle, instructions, seed=scale.seed)
+    solo = []
+    for core in range(config.cores):
+        solo.append(traces[core] if core == slot else Trace(name="idle"))
+    system = System(
+        config, solo, scheduler=scheduler, label=f"{bundle}[{slot}]/alone"
+    )
+    return system.run(max_cycles=_max_cycles(scale))
+
+
+def parallel_average_speedup(
+    apps,
+    scheduler: str,
+    provider_spec=None,
+    config: SystemConfig | None = None,
+    baseline_config: SystemConfig | None = None,
+    scale: SimScale = DEFAULT_SCALE,
+    scheduler_kwargs: dict | None = None,
+    baseline_scheduler: str = "fr-fcfs",
+) -> dict:
+    """Per-app and average speedups of a configuration over a baseline."""
+    per_app = {}
+    for app in apps:
+        base = run_parallel_workload(
+            app, baseline_scheduler, None, baseline_config or config, scale
+        )
+        conf = run_parallel_workload(
+            app, scheduler, provider_spec, config, scale, scheduler_kwargs
+        )
+        per_app[app] = speedup(base, conf)
+    avg = sum(per_app.values()) / len(per_app) if per_app else 0.0
+    return {"per_app": per_app, "average": avg}

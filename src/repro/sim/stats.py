@@ -1,0 +1,84 @@
+"""Run-level results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced.
+
+    ``cycles`` is the cycle at which the *last* core finished (the parallel
+    run-to-completion time); ``finish_cycles`` holds each core's own
+    completion cycle (the multiprogrammed per-application time).
+    """
+
+    label: str
+    cycles: int
+    finish_cycles: list[int]
+    committed: list[int]
+    core_stats: list = field(default_factory=list)
+    hierarchy: object = None
+    channels: list = field(default_factory=list)
+    providers: list = field(default_factory=list)
+    hit_max_cycles: bool = False
+
+    # -- throughput ------------------------------------------------------------
+
+    @property
+    def total_committed(self) -> int:
+        return sum(self.committed)
+
+    @property
+    def system_ipc(self) -> float:
+        return self.total_committed / self.cycles if self.cycles else 0.0
+
+    def core_ipc(self, core: int) -> float:
+        """Per-core IPC over that core's own execution window."""
+        finish = self.finish_cycles[core]
+        return self.committed[core] / finish if finish else 0.0
+
+    # -- Figure 1 quantities ---------------------------------------------------
+
+    def blocking_load_fraction(self) -> float:
+        """Dynamic DRAM-serviced loads that blocked the ROB head / all loads."""
+        loads = sum(s.loads for s in self.core_stats)
+        blocking = sum(s.blocking_dram_loads for s in self.core_stats)
+        return blocking / loads if loads else 0.0
+
+    def blocked_cycle_fraction(self) -> float:
+        """Fraction of core cycles spent with a DRAM load blocking commit."""
+        cycles = sum(max(1, f) for f in self.finish_cycles)
+        blocked = sum(s.blocked_dram_cycles for s in self.core_stats)
+        return blocked / cycles if cycles else 0.0
+
+
+def speedup(baseline: SimResult, result: SimResult) -> float:
+    """Run-time speedup of ``result`` over ``baseline`` (same workload)."""
+    if result.cycles == 0:
+        raise ValueError("result has zero cycles")
+    return baseline.cycles / result.cycles
+
+
+def weighted_speedup(result: SimResult, alone_ipcs: list[float]) -> float:
+    """Sum of per-application normalised IPCs (Snavely & Tullsen)."""
+    if len(alone_ipcs) != len(result.committed):
+        raise ValueError("alone_ipcs length must match core count")
+    total = 0.0
+    for core, alone in enumerate(alone_ipcs):
+        if alone <= 0:
+            raise ValueError(f"alone IPC for core {core} must be positive")
+        total += result.core_ipc(core) / alone
+    return total
+
+
+def maximum_slowdown(result: SimResult, alone_ipcs: list[float]) -> float:
+    """max over applications of IPC_alone / IPC_shared (TCM's fairness metric)."""
+    worst = 0.0
+    for core, alone in enumerate(alone_ipcs):
+        shared = result.core_ipc(core)
+        if shared <= 0:
+            raise ValueError(f"core {core} committed nothing")
+        worst = max(worst, alone / shared)
+    return worst

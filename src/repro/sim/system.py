@@ -1,0 +1,125 @@
+"""System: cores + hierarchy + memory, and the global cycle loop."""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.provider import CriticalityProvider, NullProvider
+from repro.cpu.core import OutOfOrderCore
+from repro.dram.controller import MemorySystem
+from repro.sched.registry import make_scheduler_factory
+from repro.sim.events import EventQueue
+from repro.sim.stats import SimResult
+
+
+def make_provider_factory(spec):
+    """Build a per-core criticality-provider factory from a spec.
+
+    Specs:
+        None or "null"            — no criticality (baseline machine).
+        ("cbp", {...})            — :class:`CbpProvider` kwargs.
+        ("clpt", {...})           — :class:`ClptProvider` kwargs.
+        ("naive", {...})          — :class:`NaiveForwardingProvider` kwargs.
+        callable                  — used directly as ``factory(core_id)``.
+    """
+    if spec is None or spec == "null":
+        return lambda core_id: NullProvider()
+    if callable(spec):
+        return spec
+    kind, kwargs = spec
+    from repro.core.fields import FieldsLikeProvider
+    from repro.core.provider import CbpProvider, ClptProvider, NaiveForwardingProvider
+
+    classes = {
+        "cbp": CbpProvider,
+        "clpt": ClptProvider,
+        "naive": NaiveForwardingProvider,
+        "fields": FieldsLikeProvider,
+    }
+    try:
+        cls = classes[kind]
+    except KeyError:
+        raise ValueError(f"unknown provider kind {kind!r}") from None
+    return lambda core_id: cls(**kwargs)
+
+
+class System:
+    """One simulated machine bound to one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces,
+        scheduler: str = "fr-fcfs",
+        scheduler_kwargs: dict | None = None,
+        provider_spec=None,
+        label: str | None = None,
+    ):
+        if len(traces) != config.cores:
+            raise ValueError(
+                f"need {config.cores} traces (one per core), got {len(traces)}"
+            )
+        self.config = config
+        self.label = label or scheduler
+        self.events = EventQueue()
+        self.memory = MemorySystem(
+            config.dram, make_scheduler_factory(scheduler, **(scheduler_kwargs or {}))
+        )
+        self.hierarchy = MemoryHierarchy(config, self.memory, self.events)
+        self._now = 0
+        self.hierarchy.bind_clock(lambda: self._now)
+        provider_factory = make_provider_factory(provider_spec)
+        self.providers: list[CriticalityProvider] = [
+            provider_factory(i) for i in range(config.cores)
+        ]
+        self.cores = [
+            OutOfOrderCore(
+                i, config.core, traces[i], self.hierarchy, self.providers[i], self.events
+            )
+            for i in range(config.cores)
+        ]
+        self._finish_cycles = [0] * config.cores
+        for core_id, trace in enumerate(traces):
+            ranges = getattr(trace, "prewarm", None)
+            if ranges:
+                self.hierarchy.prewarm(core_id, ranges)
+
+    def run(self, max_cycles: int | None = None) -> SimResult:
+        """Run every core's trace to completion; returns the results."""
+        cores = self.cores
+        events = self.events
+        memory = self.memory
+        finish = self._finish_cycles
+        remaining = len(cores)
+        now = self._now
+        hit_cap = False
+        while remaining:
+            if max_cycles is not None and now >= max_cycles:
+                hit_cap = True
+                break
+            events.run_due(now)
+            memory.step(now)
+            for core in cores:
+                if core.done:
+                    continue
+                core.step(now)
+                if core.done:
+                    finish[core.core_id] = now + 1
+                    remaining -= 1
+            self._now = now = now + 1
+        for core in cores:
+            if not core.done and finish[core.core_id] == 0:
+                finish[core.core_id] = now
+
+        result = SimResult(
+            label=self.label,
+            cycles=now,
+            finish_cycles=list(finish),
+            committed=[c.stats.committed for c in cores],
+            core_stats=[c.stats for c in cores],
+            hierarchy=self.hierarchy.stats,
+            channels=[ch.stats for ch in memory.channels],
+            providers=self.providers,
+            hit_max_cycles=hit_cap,
+        )
+        return result

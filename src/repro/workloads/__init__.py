@@ -1,0 +1,19 @@
+"""Workload models: synthetic, statistically-shaped traces standing in for
+the paper's SPLASH-2 / NAS / SPEC-OMP / NU-MineBench binaries (see
+DESIGN.md, "Substitutions")."""
+
+from repro.workloads.models import AppModel, PARALLEL_APPS, SPEC_APPS
+from repro.workloads.multiprog import BUNDLES, bundle_traces
+from repro.workloads.parallel import PARALLEL_APP_NAMES, parallel_traces
+from repro.workloads.synthetic import generate_trace
+
+__all__ = [
+    "AppModel",
+    "BUNDLES",
+    "PARALLEL_APPS",
+    "PARALLEL_APP_NAMES",
+    "SPEC_APPS",
+    "bundle_traces",
+    "generate_trace",
+    "parallel_traces",
+]

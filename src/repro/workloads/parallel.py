@@ -1,0 +1,34 @@
+"""The nine parallel applications of paper Table 2, eight threads each."""
+
+from __future__ import annotations
+
+from repro.workloads.models import PARALLEL_APPS
+from repro.workloads.synthetic import generate_trace
+
+#: Paper Figure ordering: art, cg, equake, fft, mg, ocean, radix, scalparc,
+#: swim (alphabetical, as the figures list them).
+PARALLEL_APP_NAMES = tuple(sorted(PARALLEL_APPS))
+
+
+def parallel_traces(app: str, threads: int, instructions: int, seed: int = 1):
+    """Per-thread traces for one parallel application.
+
+    All threads share static code (same PCs) and the shared data region;
+    each gets a private footprint slice.
+    """
+    try:
+        model = PARALLEL_APPS[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown parallel app {app!r}; choose from {PARALLEL_APP_NAMES}"
+        ) from None
+    return [
+        generate_trace(
+            model,
+            instructions,
+            thread_id=t,
+            threads=threads,
+            seed=seed,
+        )
+        for t in range(threads)
+    ]

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny deterministic systems and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    SimScale,
+    SystemConfig,
+)
+from repro.cpu.instruction import BRANCH, FP, INT, LOAD, STORE, Trace
+
+#: A fast scale for end-to-end tests.
+TEST_SCALE = SimScale(instructions_per_core=1_200, warmup_instructions=100)
+
+
+@pytest.fixture
+def dram_config():
+    return DramConfig()
+
+
+@pytest.fixture
+def small_system_config():
+    """A 2-core machine that runs quickly."""
+    return SystemConfig(cores=2, dram=DramConfig(channels=2))
+
+
+def make_compute_trace(n=500, pc_base=0):
+    """Pure register compute: no memory traffic at all."""
+    trace = Trace("compute")
+    for i in range(n):
+        trace.append(INT if i % 3 else FP, pc_base + (i % 40), 0, 1 if i else 0)
+    return trace
+
+
+def make_load_trace(n=300, stride=64, base=1 << 20, pc=7, dep_on_prev=False):
+    """A simple strided load stream with optional serial dependence."""
+    trace = Trace("loads")
+    addr = base
+    last_load = None
+    for i in range(n):
+        if i % 5 == 0:
+            dep = 0
+            if dep_on_prev and last_load is not None:
+                dep = len(trace) - last_load
+            last_load = len(trace)
+            trace.append(LOAD, pc, addr, dep)
+            addr += stride
+        else:
+            trace.append(INT, 100 + (i % 10), 0, 1)
+    return trace
+
+
+def make_store_trace(n=200, base=2 << 20):
+    trace = Trace("stores")
+    addr = base
+    for i in range(n):
+        if i % 4 == 0:
+            trace.append(STORE, 50, addr, 0)
+            addr += 64
+        else:
+            trace.append(INT, 60 + (i % 5), 0, 1)
+    return trace
+
+
+def make_branch_trace(n=400, mispredict_every=10):
+    trace = Trace("branches")
+    for i in range(n):
+        if i % 5 == 0:
+            trace.append(BRANCH, 200 + (i % 8), 0, 1, 0,
+                         misp=(i % (5 * mispredict_every) == 0 and i > 0))
+        else:
+            trace.append(INT, 300 + (i % 16), 0, 1)
+    return trace

@@ -1,0 +1,101 @@
+"""Per-bank timing state machine."""
+
+import pytest
+
+from repro.config import DDR3_2133
+from repro.dram.bank import Bank
+
+
+@pytest.fixture
+def bank():
+    return Bank(rank=0, index=0, timings=DDR3_2133)
+
+
+class TestActivate:
+    def test_opens_row(self, bank):
+        bank.do_activate(42, now=0)
+        assert bank.open_row == 42
+        assert bank.is_open()
+
+    def test_cas_waits_trcd(self, bank):
+        bank.do_activate(1, now=10)
+        assert bank.cas_ready == 10 + DDR3_2133.tRCD
+
+    def test_precharge_waits_tras(self, bank):
+        bank.do_activate(1, now=10)
+        assert bank.pre_ready >= 10 + DDR3_2133.tRAS
+
+    def test_act_to_act_waits_trc(self, bank):
+        bank.do_activate(1, now=10)
+        assert bank.act_ready == 10 + DDR3_2133.tRC
+
+    def test_records_opener(self, bank):
+        bank.do_activate(1, now=0, opened_by=77)
+        assert bank.opened_by == 77
+
+
+class TestPrecharge:
+    def test_closes_row(self, bank):
+        bank.do_activate(1, now=0)
+        bank.do_precharge(now=40)
+        assert bank.open_row is None
+        assert bank.opened_by == -1
+
+    def test_next_activate_waits_trp(self, bank):
+        bank.do_activate(1, now=0)
+        bank.do_precharge(now=50)
+        assert bank.act_ready >= 50 + DDR3_2133.tRP
+
+
+class TestReadWrite:
+    def test_read_pushes_precharge_by_trtp(self, bank):
+        bank.do_activate(1, now=0)
+        bank.do_read(now=20)
+        assert bank.pre_ready >= 20 + DDR3_2133.tRTP
+
+    def test_write_recovery_longer_than_read(self, bank):
+        other = Bank(0, 1, DDR3_2133)
+        bank.do_activate(1, now=0)
+        other.do_activate(1, now=0)
+        bank.do_read(now=20)
+        other.do_write(now=20)
+        assert other.pre_ready > bank.pre_ready
+
+    def test_write_recovery_formula(self, bank):
+        bank.do_activate(1, now=0)
+        bank.do_write(now=20)
+        t = DDR3_2133
+        assert bank.pre_ready >= 20 + t.tWL + t.burst_cycles + t.tWR
+
+    def test_last_use_updates(self, bank):
+        bank.do_activate(1, now=5)
+        assert bank.last_use == 5
+        bank.do_read(now=25)
+        assert bank.last_use == 25
+
+
+class TestClassify:
+    def test_closed(self, bank):
+        assert bank.classify(3) == "closed"
+
+    def test_hit(self, bank):
+        bank.do_activate(3, now=0)
+        assert bank.classify(3) == "hit"
+
+    def test_conflict(self, bank):
+        bank.do_activate(3, now=0)
+        assert bank.classify(4) == "conflict"
+
+
+class TestBlockUntil:
+    def test_blocks_all_commands(self, bank):
+        bank.block_until(500)
+        assert bank.act_ready >= 500
+        assert bank.cas_ready >= 500
+        assert bank.pre_ready >= 500
+
+    def test_never_reduces_readiness(self, bank):
+        bank.do_activate(1, now=0)
+        ready = bank.act_ready
+        bank.block_until(1)
+        assert bank.act_ready == ready

@@ -1,0 +1,127 @@
+"""Set-associative cache array with LRU replacement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.cache.base import SetAssociativeCache
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=ways * sets * line, line_bytes=line, ways=ways,
+                    round_trip_latency=1, mshr_entries=4)
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(100) is None
+        c.insert(100)
+        assert c.lookup(100) is not None
+
+    def test_line_granularity(self):
+        c = small_cache()
+        c.insert(128)
+        assert c.lookup(128 + 63) is not None
+        assert c.lookup(128 + 64) is None
+
+    def test_line_addr(self):
+        c = small_cache()
+        assert c.line_addr(130) == 128
+        assert c.line_addr(64) == 64
+
+    def test_hit_miss_counters(self):
+        c = small_cache()
+        c.lookup(0)
+        c.insert(0)
+        c.lookup(0)
+        assert c.misses == 1
+        assert c.hits == 1
+
+    def test_peek_does_not_touch(self):
+        c = small_cache()
+        c.insert(0)
+        hits = c.hits
+        assert c.peek(0) is not None
+        assert c.hits == hits
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        c = small_cache(ways=2, sets=1)
+        c.insert(0)
+        c.insert(64)
+        c.lookup(0)          # 0 is now MRU
+        victim = c.insert(128)
+        assert victim is not None
+        assert victim[0] == 64
+
+    def test_insert_refreshes_existing(self):
+        c = small_cache(ways=2, sets=1)
+        c.insert(0)
+        c.insert(64)
+        c.insert(0)          # refresh, no eviction
+        victim = c.insert(128)
+        assert victim[0] == 64
+
+    def test_refresh_preserves_dirty(self):
+        c = small_cache()
+        c.insert(0, dirty=True)
+        c.insert(0, dirty=False)
+        assert c.peek(0).dirty
+
+
+class TestInvalidate:
+    def test_removes_line(self):
+        c = small_cache()
+        c.insert(0)
+        line = c.invalidate(0)
+        assert line is not None
+        assert c.peek(0) is None
+
+    def test_absent_returns_none(self):
+        c = small_cache()
+        assert c.invalidate(0) is None
+
+
+class TestState:
+    def test_state_stored(self):
+        c = small_cache()
+        c.insert(0, state="M", dirty=True)
+        line = c.peek(0)
+        assert line.state == "M"
+        assert line.dirty
+
+    def test_resident_lines(self):
+        c = small_cache()
+        c.insert(0)
+        c.insert(64)
+        assert c.resident_lines() == 2
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+def test_capacity_and_contents_match_reference(addresses):
+    """Property: occupancy bounded; contents match a reference LRU model."""
+    ways, sets, line = 2, 4, 64
+    c = small_cache(ways=ways, sets=sets, line=line)
+    reference = {s: [] for s in range(sets)}  # per-set MRU-last lists
+    for addr in addresses:
+        la = addr - addr % line
+        s = (la // line) % sets
+        if c.lookup(la) is None:
+            c.insert(la)
+            if la in reference[s]:
+                reference[s].remove(la)
+            reference[s].append(la)
+            if len(reference[s]) > ways:
+                reference[s].pop(0)
+        else:
+            reference[s].remove(la)
+            reference[s].append(la)
+    for s in range(sets):
+        for la in reference[s]:
+            assert c.peek(la) is not None
+    assert c.resident_lines() == sum(len(v) for v in reference.values())

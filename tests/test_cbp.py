@@ -1,0 +1,162 @@
+"""Commit Block Predictor: metrics, aliasing, reset, widths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cbp import CbpMetric, CommitBlockPredictor
+
+
+class TestBinary:
+    def test_unmarked_initially(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        assert cbp.predict(5) == 0
+
+    def test_marked_on_block(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        cbp.record_block_start(5)
+        assert cbp.predict(5) == 1
+
+    def test_saturates_at_one(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        for _ in range(10):
+            cbp.record_block_start(5)
+        assert cbp.predict(5) == 1
+
+    def test_stall_ignored(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        cbp.record_stall(5, 300)
+        assert cbp.predict(5) == 0
+
+
+class TestBlockCount:
+    def test_counts_blocks(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BLOCK_COUNT)
+        for _ in range(7):
+            cbp.record_block_start(9)
+        assert cbp.predict(9) == 7
+
+
+class TestStallMetrics:
+    def test_last_stall_overwrites(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.LAST_STALL)
+        cbp.record_stall(3, 100)
+        cbp.record_stall(3, 40)
+        assert cbp.predict(3) == 40
+
+    def test_max_stall_keeps_maximum(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.MAX_STALL)
+        cbp.record_stall(3, 100)
+        cbp.record_stall(3, 40)
+        cbp.record_stall(3, 250)
+        assert cbp.predict(3) == 250
+
+    def test_total_stall_accumulates(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.TOTAL_STALL)
+        cbp.record_stall(3, 100)
+        cbp.record_stall(3, 40)
+        assert cbp.predict(3) == 140
+
+    def test_block_start_ignored_by_stall_metrics(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.MAX_STALL)
+        cbp.record_block_start(3)
+        assert cbp.predict(3) == 0
+
+    def test_negative_stall_rejected(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.MAX_STALL)
+        with pytest.raises(ValueError):
+            cbp.record_stall(3, -1)
+
+
+class TestAliasing:
+    def test_pcs_64_apart_alias(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        cbp.record_block_start(7)
+        assert cbp.predict(7 + 64) == 1
+        assert cbp.predict(7 + 128) == 1
+
+    def test_unlimited_table_never_aliases(self):
+        cbp = CommitBlockPredictor(None, CbpMetric.BINARY)
+        cbp.record_block_start(7)
+        assert cbp.predict(7) == 1
+        assert cbp.predict(7 + 64) == 0
+
+    def test_larger_table_separates(self):
+        cbp = CommitBlockPredictor(256, CbpMetric.BINARY)
+        cbp.record_block_start(7)
+        assert cbp.predict(7 + 64) == 0
+        assert cbp.predict(7 + 256) == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CommitBlockPredictor(65)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CommitBlockPredictor(0)
+
+
+class TestReset:
+    def test_reset_clears_table(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY, reset_interval=1000)
+        cbp.record_block_start(5)
+        cbp.tick(999)
+        assert cbp.predict(5) == 1
+        cbp.tick(1000)
+        assert cbp.predict(5) == 0
+        assert cbp.resets == 1
+
+    def test_reset_rearms(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY, reset_interval=100)
+        cbp.tick(100)
+        cbp.record_block_start(5)
+        cbp.tick(150)
+        assert cbp.predict(5) == 1
+        cbp.tick(200)
+        assert cbp.predict(5) == 0
+        assert cbp.resets == 2
+
+    def test_no_reset_when_disabled(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        cbp.record_block_start(5)
+        cbp.tick(10**9)
+        assert cbp.predict(5) == 1
+
+
+class TestWidths:
+    def test_max_observed_tracks_largest_write(self):
+        cbp = CommitBlockPredictor(None, CbpMetric.MAX_STALL)
+        cbp.record_stall(1, 100)
+        cbp.record_stall(2, 13475)
+        cbp.record_stall(3, 7)
+        assert cbp.max_observed == 13475
+
+    def test_counter_width_matches_paper_table5(self):
+        # Paper Table 5 maxima -> widths.
+        assert CommitBlockPredictor.counter_width(1) == 1
+        assert CommitBlockPredictor.counter_width(1_975_691) == 21
+        assert CommitBlockPredictor.counter_width(13_475) == 14
+        assert CommitBlockPredictor.counter_width(112_753_587) == 27
+
+    def test_width_of_zero_is_one_bit(self):
+        assert CommitBlockPredictor.counter_width(0) == 1
+
+
+class TestOccupancy:
+    def test_counts_nonzero_entries(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.BINARY)
+        cbp.record_block_start(1)
+        cbp.record_block_start(2)
+        assert cbp.occupancy() == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 5000)), max_size=60))
+def test_max_stall_is_running_max_per_index(events):
+    """Property: MAX_STALL entry equals max stall recorded for its index."""
+    cbp = CommitBlockPredictor(64, CbpMetric.MAX_STALL)
+    reference = {}
+    for pc, stall in events:
+        cbp.record_stall(pc, stall)
+        idx = pc & 63
+        reference[idx] = max(reference.get(idx, 0), stall)
+    for idx, expected in reference.items():
+        assert cbp.predict(idx) == expected

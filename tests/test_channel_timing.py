@@ -1,0 +1,80 @@
+"""Channel/rank-shared timing constraints."""
+
+import pytest
+
+from repro.config import DDR3_2133
+from repro.dram.channel import ChannelTiming
+
+
+@pytest.fixture
+def timing():
+    return ChannelTiming(DDR3_2133, ranks=4)
+
+
+class TestCcd:
+    def test_back_to_back_cas_blocked_within_tccd(self, timing):
+        assert timing.cas_issue_ok(0, False, 0)
+        timing.did_cas(0, False, 0)
+        assert not timing.cas_issue_ok(0, False, DDR3_2133.tCCD - 1)
+        assert timing.cas_issue_ok(0, False, DDR3_2133.tCCD)
+
+
+class TestDataBus:
+    def test_burst_occupies_bus(self, timing):
+        end = timing.did_cas(0, False, 0)
+        assert end == DDR3_2133.tCL + DDR3_2133.burst_cycles
+        assert timing.data_bus_free == end
+
+    def test_same_rank_cas_at_tccd_ok(self, timing):
+        timing.did_cas(0, False, 0)
+        # Next read's data starts tCL after issue; bus frees in time.
+        assert timing.cas_issue_ok(0, False, DDR3_2133.tCCD)
+
+    def test_rank_switch_pays_trtrs_in_data_timing(self, timing):
+        # A rank-switch CAS may issue at tCCD (commands are never starved
+        # by the bus model), but its data is pushed back behind the
+        # previous burst plus tRTRS.
+        timing.did_cas(0, False, 0)
+        t = DDR3_2133
+        assert timing.cas_issue_ok(1, False, t.tCCD)
+        end = timing.did_cas(1, False, t.tCCD)
+        first_end = t.tCL + t.burst_cycles
+        assert end == first_end + t.tRTRS + t.burst_cycles
+
+    def test_same_rank_back_to_back_no_gap(self, timing):
+        t = DDR3_2133
+        end0 = timing.did_cas(0, False, 0)
+        end1 = timing.did_cas(0, False, t.tCCD)
+        assert end1 == end0 + t.burst_cycles
+
+    def test_no_penalty_first_use(self, timing):
+        assert timing.cas_issue_ok(3, True, 0)
+
+
+class TestWtr:
+    def test_read_after_write_same_rank_waits(self, timing):
+        end = timing.did_cas(0, True, 0)
+        t = DDR3_2133
+        blocked_until = end + t.tWTR
+        assert not timing.cas_issue_ok(0, False, blocked_until - 1)
+        assert timing.cas_issue_ok(0, False, blocked_until)
+
+    def test_write_after_write_unaffected_by_wtr(self, timing):
+        timing.did_cas(0, True, 0)
+        t = DDR3_2133
+        # Writes need only tCCD + bus; no tWTR.
+        cycle = t.tCCD
+        while not timing.cas_issue_ok(0, True, cycle):
+            cycle += 1
+        assert cycle < timing.rank_read_after_write[0]
+
+
+class TestRrd:
+    def test_act_to_act_same_rank_waits_trrd(self, timing):
+        timing.did_activate(0, 0)
+        assert not timing.can_activate(0, DDR3_2133.tRRD - 1)
+        assert timing.can_activate(0, DDR3_2133.tRRD)
+
+    def test_other_rank_unaffected(self, timing):
+        timing.did_activate(0, 0)
+        assert timing.can_activate(1, 1)

@@ -1,0 +1,54 @@
+"""CLPT comparator predictor."""
+
+import pytest
+
+from repro.core.clpt import CriticalLoadPredictionTable
+
+
+class TestClpt:
+    def test_unknown_pc_not_critical(self):
+        clpt = CriticalLoadPredictionTable()
+        assert not clpt.is_critical(10)
+        assert clpt.consumer_count(10) == 0
+
+    def test_threshold_three_default(self):
+        clpt = CriticalLoadPredictionTable()
+        clpt.record_consumers(10, 2)
+        assert not clpt.is_critical(10)
+        clpt.record_consumers(10, 3)
+        assert clpt.is_critical(10)
+
+    def test_threshold_two_variant(self):
+        clpt = CriticalLoadPredictionTable(threshold=2)
+        clpt.record_consumers(10, 2)
+        assert clpt.is_critical(10)
+
+    def test_count_overwritten_each_instance(self):
+        clpt = CriticalLoadPredictionTable()
+        clpt.record_consumers(10, 5)
+        clpt.record_consumers(10, 1)
+        assert clpt.consumer_count(10) == 1
+        assert not clpt.is_critical(10)
+
+    def test_aliasing_in_finite_table(self):
+        clpt = CriticalLoadPredictionTable(entries=64)
+        clpt.record_consumers(7, 4)
+        assert clpt.is_critical(7 + 64)
+
+    def test_unlimited_table(self):
+        clpt = CriticalLoadPredictionTable(entries=None)
+        clpt.record_consumers(7, 4)
+        assert not clpt.is_critical(7 + 64)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CriticalLoadPredictionTable(threshold=0)
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            CriticalLoadPredictionTable(entries=100)
+
+    def test_negative_count_rejected(self):
+        clpt = CriticalLoadPredictionTable()
+        with pytest.raises(ValueError):
+            clpt.record_consumers(1, -1)

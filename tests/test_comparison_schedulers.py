@@ -1,0 +1,219 @@
+"""AHB, PAR-BS, TCM, TCM+Crit, MORSE: unit behaviour."""
+
+import pytest
+
+from repro.dram.addressmap import DramLocation
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+from repro.sched.ahb import AhbScheduler
+from repro.sched.morse import CritRlScheduler, MorseScheduler
+from repro.sched.parbs import ParBsScheduler
+from repro.sched.tcm import TcmScheduler
+from repro.sched.tcm_crit import TcmCritScheduler
+
+
+class FakeController:
+    def __init__(self, reads=(), writes=()):
+        self.read_queue = list(reads)
+        self.write_queue = list(writes)
+        self.banks = [[_FakeBank() for _ in range(8)] for _ in range(4)]
+
+    class config:
+        row_idle_precharge_cycles = 12
+
+
+class _FakeBank:
+    open_row = None
+
+
+def txn(seq, core=0, rank=0, bank=0, row=0, is_write=False, critical=False,
+        magnitude=0):
+    t = Transaction(0, DramLocation(0, rank, bank, row, 0), is_write=is_write,
+                    core=core, critical=critical, magnitude=magnitude)
+    t.seq = seq
+    t.arrival = 0
+    return t
+
+
+def cas(t):
+    return CandidateCommand(
+        CommandKind.WRITE if t.is_write else CommandKind.READ,
+        t, t.loc.rank, t.loc.bank, t.loc.row,
+    )
+
+
+def ras(t):
+    return CandidateCommand(CommandKind.ACTIVATE, t, t.loc.rank, t.loc.bank,
+                            t.loc.row)
+
+
+class TestParBs:
+    def test_batch_marks_up_to_cap_per_thread_bank(self):
+        sched = ParBsScheduler(marking_cap=2)
+        txns = [txn(i, core=0, bank=0) for i in range(5)]
+        ctrl = FakeController(txns)
+        sched.select([cas(txns[0])], ctrl, 0)
+        marked = [t for t in txns if t.marked]
+        assert len(marked) == 2
+        assert [t.seq for t in marked] == [0, 1]  # oldest first
+
+    def test_marked_prioritised_over_unmarked(self):
+        sched = ParBsScheduler(marking_cap=1)
+        a = txn(1, core=0, bank=0)
+        b = txn(2, core=0, bank=0)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([cas(a), cas(b)], ctrl, 0)
+        assert chosen.txn is a
+        # b is unmarked until the next batch forms.
+        assert a.marked and not b.marked
+
+    def test_shortest_job_first_ranking(self):
+        sched = ParBsScheduler(marking_cap=5)
+        heavy = [txn(i, core=0, bank=0) for i in range(4)]
+        light = [txn(10, core=1, bank=1)]
+        ctrl = FakeController(heavy + light)
+        sched._form_batch(ctrl)
+        assert sched._rank[1] < sched._rank[0]
+
+    def test_new_batch_when_drained(self):
+        sched = ParBsScheduler(marking_cap=5)
+        a = txn(1, core=0)
+        ctrl = FakeController([a])
+        sched.select([cas(a)], ctrl, 0)
+        first = sched.batches_formed
+        ctrl.read_queue = [txn(2, core=0)]
+        sched.select([cas(ctrl.read_queue[0])], ctrl, 1)
+        assert sched.batches_formed == first + 1
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            ParBsScheduler(marking_cap=0)
+
+
+class TestTcm:
+    def test_latency_cluster_prioritised(self):
+        sched = TcmScheduler(quantum=10, threads=2)
+        # Core 1 is intense, core 0 is light.
+        for i in range(20):
+            sched.on_enqueue(txn(i, core=1), 0)
+        sched.on_enqueue(txn(100, core=0), 0)
+        sched._recluster(0)
+        assert 0 in sched._latency_cluster
+        assert 1 not in sched._latency_cluster
+        a = txn(200, core=0)
+        b = txn(150, core=1)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([cas(a), cas(b)], ctrl, 20)
+        assert chosen.txn is a  # latency cluster wins despite being younger
+
+    def test_shuffle_rotates_bw_ranks(self):
+        sched = TcmScheduler(threads=4)
+        sched._bw_order = [0, 1, 2, 3]
+        sched._shuffle(0)
+        assert sched._bw_order == [1, 2, 3, 0]
+        assert sched.shuffles == 1
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            TcmScheduler(latency_cluster_share=1.5)
+
+
+class TestTcmCrit:
+    def test_criticality_breaks_intra_rank_ties(self):
+        sched = TcmCritScheduler(threads=2)
+        a = txn(1, core=0)
+        b = txn(2, core=0, critical=True, magnitude=500)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([cas(a), cas(b)], ctrl, 0)
+        assert chosen.txn is b
+
+    def test_thread_rank_still_primary(self):
+        sched = TcmCritScheduler(quantum=10, threads=2)
+        for i in range(20):
+            sched.on_enqueue(txn(i, core=1), 0)
+        sched.on_enqueue(txn(100, core=0), 0)
+        sched._recluster(0)
+        lat = txn(200, core=0)
+        crit_bw = txn(150, core=1, critical=True, magnitude=999)
+        ctrl = FakeController([lat, crit_bw])
+        chosen = sched.select([cas(lat), cas(crit_bw)], ctrl, 20)
+        assert chosen.txn is lat
+
+
+class TestAhb:
+    def test_prefers_same_rank_as_history(self):
+        sched = AhbScheduler()
+        prev = txn(0, rank=1)
+        sched.on_command(cas(prev), 0)
+        same = txn(1, rank=1)
+        other = txn(2, rank=2)
+        ctrl = FakeController([same, other])
+        chosen = sched.select([cas(other), cas(same)], ctrl, 0)
+        assert chosen.txn is same
+
+    def test_cas_always_beats_ras(self):
+        sched = AhbScheduler()
+        a = txn(1, rank=0)
+        b = txn(2, rank=0)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([ras(a), cas(b)], ctrl, 0)
+        assert chosen.is_cas
+
+    def test_mix_matching_tracks_arrivals(self):
+        sched = AhbScheduler()
+        for i in range(10):
+            sched.on_enqueue(txn(i, is_write=True), 0)
+        # Issuing a write should now reduce mix error vs a read.
+        assert sched._mix_error(True) < sched._mix_error(False)
+
+
+class TestMorse:
+    def test_commands_checked_limits_to_oldest(self):
+        sched = MorseScheduler(commands_checked=2, epsilon=0.0)
+        txns = [txn(i) for i in range(5)]
+        ctrl = FakeController(txns)
+        chosen = sched.select([cas(t) for t in txns], ctrl, 0)
+        assert chosen.txn.seq <= 1
+
+    def test_learning_updates_weights(self):
+        sched = MorseScheduler(epsilon=0.0)
+        a = txn(1)
+        ctrl = FakeController([a])
+        sched.select([cas(a)], ctrl, 0)
+        b = txn(2)
+        ctrl2 = FakeController([b])
+        sched.select([cas(b)], ctrl2, 10)
+        assert sched.decisions == 2
+        assert any(w != 0 for w in sched._weights.values())
+
+    def test_prior_prefers_cas(self):
+        sched = MorseScheduler(epsilon=0.0)
+        a = txn(1)
+        b = txn(2)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([ras(a), cas(b)], ctrl, 0)
+        assert chosen.is_cas
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sched = MorseScheduler(seed=5)
+            picks = []
+            for i in range(50):
+                ts = [txn(i * 3 + k, core=k) for k in range(3)]
+                ctrl = FakeController(ts)
+                picks.append(sched.select([cas(t) for t in ts], ctrl, i).txn.seq)
+            return picks
+        assert run() == run()
+
+    def test_crit_rl_uses_criticality_feature(self):
+        sched = CritRlScheduler(epsilon=0.0)
+        assert sched.use_criticality
+        plain = txn(1)
+        crit = txn(2, critical=True, magnitude=1000)
+        ctrl = FakeController([plain, crit])
+        chosen = sched.select([cas(plain), cas(crit)], ctrl, 0)
+        assert chosen.txn is crit
+
+    def test_invalid_commands_checked(self):
+        with pytest.raises(ValueError):
+            MorseScheduler(commands_checked=0)

@@ -1,0 +1,199 @@
+"""Channel controller: queues, command legality, refresh, write handling."""
+
+import pytest
+
+from repro.config import DDR3_2133, DramConfig
+from repro.dram.command import CommandKind
+from repro.dram.controller import ChannelController, MemorySystem
+from repro.sched.base import Scheduler
+from repro.sched.frfcfs import FrFcfsScheduler
+
+
+class LegalityChecker(Scheduler):
+    """Wraps FR-FCFS and asserts every offered candidate is legal."""
+
+    def __init__(self):
+        self.inner = FrFcfsScheduler()
+        self.checked = 0
+
+    def select(self, candidates, controller, now):
+        timing = controller.timing
+        for cand in candidates:
+            bank = controller.banks[cand.rank][cand.bank]
+            if cand.kind == CommandKind.READ:
+                assert bank.open_row == cand.row
+                assert now >= bank.cas_ready
+                assert timing.cas_issue_ok(cand.rank, False, now)
+            elif cand.kind == CommandKind.WRITE:
+                assert bank.open_row == cand.row
+                assert timing.cas_issue_ok(cand.rank, True, now)
+            elif cand.kind == CommandKind.ACTIVATE:
+                assert bank.open_row is None
+                assert now >= bank.act_ready
+                assert timing.can_activate(cand.rank, now)
+            elif cand.kind == CommandKind.PRECHARGE:
+                assert bank.open_row is not None
+                assert now >= bank.pre_ready
+            self.checked += 1
+        return self.inner.select(candidates, controller, now)
+
+
+def make_memsys(scheduler_cls=FrFcfsScheduler, **dram_kwargs):
+    return MemorySystem(DramConfig(**dram_kwargs), lambda c: scheduler_cls())
+
+
+def drain(memsys, reads, max_dram_cycles=50_000):
+    """Step until all the given read transactions complete."""
+    done = []
+    for txn in reads:
+        txn.callback = lambda d, t=txn: done.append((t, d))
+    cycle = 0
+    while len(done) < len(reads) and cycle < max_dram_cycles * 4:
+        memsys.step(cycle)
+        cycle += 1
+    return done
+
+
+class TestRowTrain:
+    def test_sequential_lines_are_row_hits(self):
+        memsys = make_memsys()
+        base = 7 * 1024 * 1024
+        txns = [memsys.make_transaction(base + k * 64, core=0) for k in range(8)]
+        for txn in txns:
+            assert memsys.try_enqueue(txn, 0)
+        done = drain(memsys, txns)
+        assert len(done) == 8
+        ch = memsys.channels[txns[0].loc.channel]
+        assert ch.stats.activates == 1
+        assert ch.stats.row_hit_reads == 7
+
+    def test_row_hits_spaced_by_tccd(self):
+        memsys = make_memsys()
+        base = 11 * 1024 * 1024
+        txns = [memsys.make_transaction(base + k * 64, core=0) for k in range(4)]
+        for txn in txns:
+            memsys.try_enqueue(txn, 0)
+        done = drain(memsys, txns)
+        times = sorted(d for _t, d in done)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == DDR3_2133.tCCD for g in gaps)
+
+
+class TestLegality:
+    def test_all_candidates_legal_under_load(self):
+        memsys = make_memsys(LegalityChecker)
+        import random
+
+        rng = random.Random(3)
+        txns = []
+        cycle = 0
+        for i in range(120):
+            txn = memsys.make_transaction(
+                rng.randrange(1 << 28) & ~63,
+                core=i % 4,
+                is_write=(i % 5 == 0),
+            )
+            if memsys.try_enqueue(txn, cycle):
+                if not txn.is_write:
+                    txns.append(txn)
+        done = drain(memsys, txns)
+        assert len(done) == len(txns)
+        assert any(ch.scheduler.checked > 0 for ch in memsys.channels)
+
+
+class TestRefresh:
+    def test_refreshes_happen(self):
+        memsys = make_memsys()
+        # Step past several refresh intervals with an empty queue.
+        interval = DDR3_2133.refresh_interval_cycles
+        for cycle in range(0, interval * 4 * 6):
+            memsys.step(cycle)
+        total = sum(ch.stats.refreshes for ch in memsys.channels)
+        assert total > 0
+
+    def test_refresh_blocks_bank(self):
+        memsys = make_memsys(**{"ranks_per_channel": 1})
+        interval = DDR3_2133.refresh_interval_cycles
+        # Run past a refresh, then issue a read: it must still complete.
+        for cycle in range(0, (interval + 10) * 4):
+            memsys.step(cycle)
+        txn = memsys.make_transaction(0, core=0)
+        assert memsys.try_enqueue(txn, (interval + 10) * 4)
+        done = []
+        txn.callback = lambda d: done.append(d)
+        cycle = (interval + 10) * 4
+        while not done and cycle < (interval + 2000) * 4:
+            memsys.step(cycle)
+            cycle += 1
+        assert done
+
+
+class TestQueueCapacity:
+    def test_rejects_when_full(self):
+        memsys = make_memsys(**{"transaction_queue_entries": 4})
+        accepted = 0
+        for k in range(10):
+            txn = memsys.make_transaction(k * 1024 * 4, core=0)  # channel 0
+            if memsys.try_enqueue(txn, 0):
+                accepted += 1
+        assert accepted == 4
+
+    def test_write_queue_separate_capacity(self):
+        memsys = make_memsys(**{"transaction_queue_entries": 2})
+        r = memsys.make_transaction(0, core=0)
+        w = memsys.make_transaction(4096 * 4, is_write=True)
+        r2 = memsys.make_transaction(8192 * 4, core=0)
+        assert memsys.try_enqueue(r, 0)
+        assert memsys.try_enqueue(w, 0)
+        assert memsys.try_enqueue(r2, 0)
+
+
+class TestWrites:
+    def test_writes_complete(self):
+        memsys = make_memsys()
+        done = []
+        txns = []
+        for k in range(6):
+            txn = memsys.make_transaction(
+                (1 << 22) + k * 64, is_write=True,
+                callback=lambda d: done.append(d),
+            )
+            assert memsys.try_enqueue(txn, 0)
+            txns.append(txn)
+        cycle = 0
+        while len(done) < 6 and cycle < 100_000:
+            memsys.step(cycle)
+            cycle += 1
+        assert len(done) == 6
+
+    def test_unified_queue_mixes_writes_with_reads(self):
+        memsys = make_memsys()
+        assert memsys.config.unified_queue
+        w = memsys.make_transaction(1 << 22, is_write=True)
+        memsys.try_enqueue(w, 0)
+        ch = memsys.channels[w.loc.channel]
+        assert ch._drain_writes_now()
+
+
+class TestSequenceNumbers:
+    def test_monotone_arrival_seq(self):
+        memsys = make_memsys()
+        txns = [memsys.make_transaction(k * 4096 * 4, core=0) for k in range(5)]
+        for txn in txns:
+            memsys.try_enqueue(txn, 0)
+        seqs = [t.seq for t in txns]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestStats:
+    def test_busy_and_occupancy_counted(self):
+        memsys = make_memsys()
+        txns = [memsys.make_transaction((1 << 24) + k * 64, core=0) for k in range(4)]
+        for txn in txns:
+            memsys.try_enqueue(txn, 0)
+        drain(memsys, txns)
+        ch = memsys.channels[txns[0].loc.channel]
+        assert ch.stats.busy_cycles > 0
+        assert ch.stats.queue_samples > 0
+        assert ch.stats.reads_done == 4

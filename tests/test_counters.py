@@ -1,0 +1,105 @@
+"""CBP counter update policies (Section 5.3 extension)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cbp import CbpMetric, CommitBlockPredictor
+from repro.core.counters import (
+    FullCounter,
+    ProbabilisticCounter,
+    SaturatingCounter,
+    make_counter,
+)
+
+
+class TestFullCounter:
+    def test_exact_accumulation(self):
+        c = FullCounter()
+        assert c.apply(100, 50) == 150
+
+    def test_store_passthrough(self):
+        assert FullCounter().store(1 << 30) == 1 << 30
+
+
+class TestSaturatingCounter:
+    def test_saturates_at_width(self):
+        c = SaturatingCounter(width=4)
+        assert c.maximum == 15
+        assert c.apply(14, 5) == 15
+        assert c.store(100) == 15
+
+    def test_below_max_exact(self):
+        c = SaturatingCounter(width=8)
+        assert c.apply(10, 20) == 30
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(width=0)
+
+
+class TestProbabilisticCounter:
+    def test_exact_below_pivot(self):
+        c = ProbabilisticCounter(pivot=100)
+        assert c.apply(50, 10) == 60
+
+    def test_deterministic_given_seed(self):
+        def run():
+            c = ProbabilisticCounter(pivot=16, seed=3)
+            value = 0
+            for _ in range(200):
+                value = c.apply(value, 5)
+            return value
+        assert run() == run()
+
+    def test_expectation_roughly_preserved(self):
+        # Sum of 2000 increments of 10 -> expect ~20000 (saturated prob.
+        # counting keeps expectation; allow wide tolerance).
+        c = ProbabilisticCounter(pivot=256, width=20, seed=7)
+        value = 0
+        for _ in range(2000):
+            value = c.apply(value, 10)
+        assert 10_000 < value < 40_000
+
+    def test_invalid_pivot(self):
+        with pytest.raises(ValueError):
+            ProbabilisticCounter(pivot=0)
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_counter("full"), FullCounter)
+        assert isinstance(make_counter("saturating"), SaturatingCounter)
+        assert isinstance(make_counter("probabilistic"), ProbabilisticCounter)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_counter("nope")
+
+
+class TestCbpIntegration:
+    def test_saturating_caps_total_stall(self):
+        cbp = CommitBlockPredictor(
+            64, CbpMetric.TOTAL_STALL, counter=SaturatingCounter(width=8)
+        )
+        for _ in range(10):
+            cbp.record_stall(3, 100)
+        assert cbp.predict(3) == 255
+
+    def test_string_counter_spec(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.MAX_STALL, counter="saturating")
+        cbp.record_stall(3, 1 << 20)
+        assert cbp.predict(3) == (1 << 14) - 1
+
+    def test_default_is_full(self):
+        cbp = CommitBlockPredictor(64, CbpMetric.TOTAL_STALL)
+        cbp.record_stall(3, 1 << 20)
+        assert cbp.predict(3) == 1 << 20
+
+
+@given(st.lists(st.integers(1, 500), min_size=1, max_size=100))
+def test_saturating_never_exceeds_max(increments):
+    c = SaturatingCounter(width=10)
+    value = 0
+    for inc in increments:
+        value = c.apply(value, inc)
+        assert 0 <= value <= c.maximum

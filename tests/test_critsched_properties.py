@@ -1,0 +1,93 @@
+"""Property-based tests of the criticality scheduler's ordering."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.critsched import CasRasCritScheduler, CritCasRasScheduler
+from repro.dram.addressmap import DramLocation
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+
+
+class FakeController:
+    def __init__(self, reads):
+        self.read_queue = list(reads)
+        self.write_queue = []
+
+    class config:
+        row_idle_precharge_cycles = 12
+
+
+def build(reads_spec):
+    """reads_spec: list of (core, critical, magnitude, is_cas)."""
+    txns, cands = [], []
+    for seq, (core, critical, magnitude, is_cas) in enumerate(reads_spec):
+        t = Transaction(0, DramLocation(0, 0, seq % 8, 0, 0), core=core,
+                        critical=critical, magnitude=magnitude)
+        t.seq = seq
+        t.arrival = 0
+        txns.append(t)
+        kind = CommandKind.READ if is_cas else CommandKind.ACTIVATE
+        cands.append(CandidateCommand(kind, t, 0, seq % 8, 0))
+    return txns, cands
+
+
+request_strategy = st.tuples(
+    st.integers(0, 3),            # core
+    st.booleans(),                # critical
+    st.integers(0, 4000),         # magnitude
+    st.booleans(),                # is_cas
+)
+
+
+@settings(max_examples=80)
+@given(st.lists(request_strategy, min_size=1, max_size=12))
+def test_casras_crit_never_picks_ras_over_cas(spec):
+    txns, cands = build(spec)
+    sched = CasRasCritScheduler()
+    chosen = sched.select(cands, FakeController(txns), now=0)
+    assert chosen is not None
+    if any(c.is_cas for c in cands):
+        assert chosen.is_cas
+
+
+@settings(max_examples=80)
+@given(st.lists(request_strategy, min_size=1, max_size=12))
+def test_within_core_age_order_preserved(spec):
+    """Among one core's critical CAS candidates, the oldest must win."""
+    txns, cands = build(spec)
+    sched = CasRasCritScheduler(magnitude_shift=0)
+    chosen = sched.select(cands, FakeController(txns), now=0)
+    if chosen is None or not chosen.is_cas or not chosen.txn.critical:
+        return
+    same_core_crit_cas = [
+        c for c in cands
+        if c.is_cas and c.txn.core == chosen.txn.core and c.txn.critical
+    ]
+    assert chosen.txn.seq == min(c.txn.seq for c in same_core_crit_cas)
+
+
+@settings(max_examples=80)
+@given(st.lists(request_strategy, min_size=1, max_size=12))
+def test_crit_casras_criticality_dominates(spec):
+    """If any candidate's core has a critical request, Crit-CASRAS never
+    picks a non-critical candidate while a critical one is available."""
+    txns, cands = build(spec)
+    sched = CritCasRasScheduler()
+    chosen = sched.select(cands, FakeController(txns), now=0)
+    assert chosen is not None
+    if any(c.txn.critical for c in cands):
+        assert chosen.txn.critical
+
+
+@settings(max_examples=60)
+@given(st.lists(request_strategy, min_size=1, max_size=12),
+       st.integers(0, 10))
+def test_selection_is_deterministic(spec, shift):
+    txns1, cands1 = build(spec)
+    txns2, cands2 = build(spec)
+    s1 = CasRasCritScheduler(magnitude_shift=shift)
+    s2 = CasRasCritScheduler(magnitude_shift=shift)
+    c1 = s1.select(cands1, FakeController(txns1), now=5)
+    c2 = s2.select(cands2, FakeController(txns2), now=5)
+    assert c1.txn.seq == c2.txn.seq
+    assert c1.kind == c2.kind

@@ -1,0 +1,55 @@
+"""Event queue determinism."""
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5, lambda: order.append(5))
+        q.schedule(2, lambda: order.append(2))
+        q.schedule(9, lambda: order.append(9))
+        q.run_due(10)
+        assert order == [2, 5, 9]
+
+    def test_same_cycle_fires_in_schedule_order(self):
+        q = EventQueue()
+        order = []
+        for k in range(5):
+            q.schedule(3, lambda k=k: order.append(k))
+        q.run_due(3)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_future_events_wait(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append(1))
+        assert q.run_due(9) == 0
+        assert not fired
+        assert q.run_due(10) == 1
+        assert fired
+
+    def test_next_cycle(self):
+        q = EventQueue()
+        assert q.next_cycle() is None
+        q.schedule(7, lambda: None)
+        assert q.next_cycle() == 7
+
+    def test_events_scheduled_during_run_respected(self):
+        q = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            q.schedule(1, lambda: order.append("nested"))
+
+        q.schedule(1, first)
+        q.run_due(1)
+        assert order == ["first", "nested"]
+
+    def test_len(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        assert len(q) == 2

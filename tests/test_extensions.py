@@ -1,0 +1,173 @@
+"""Extension modules: ATLAS, Minimalist, Fields-like predictor, report, CLI."""
+
+import pytest
+
+from repro.core.fields import FieldsLikePredictor, FieldsLikeProvider
+from repro.dram.addressmap import DramLocation
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+from repro.sched.atlas import AtlasScheduler
+from repro.sched.minimalist import MinimalistScheduler
+
+
+class FakeController:
+    def __init__(self, reads=()):
+        self.read_queue = list(reads)
+        self.write_queue = []
+
+    class config:
+        row_idle_precharge_cycles = 12
+
+
+def txn(seq, core=0, is_prefetch=False):
+    t = Transaction(0, DramLocation(0, 0, 0, 0, 0), core=core,
+                    is_prefetch=is_prefetch)
+    t.seq = seq
+    t.arrival = 0
+    return t
+
+
+def cas(t):
+    return CandidateCommand(CommandKind.READ, t, 0, 0, 0)
+
+
+class TestAtlas:
+    def test_least_attained_service_first(self):
+        sched = AtlasScheduler(threads=2)
+        # Core 1 consumed lots of bus time.
+        for i in range(20):
+            sched.on_command(cas(txn(i, core=1)), 0)
+        a = txn(100, core=0)
+        b = txn(50, core=1)
+        chosen = sched.select([cas(a), cas(b)], FakeController([a, b]), 0)
+        assert chosen.txn is a
+
+    def test_quantum_decays_history(self):
+        sched = AtlasScheduler(quantum=10, decay=0.5, threads=2)
+        for i in range(8):
+            sched.on_command(cas(txn(i, core=0)), 0)
+        before = sched._rank(0)
+        sched._tick(10)
+        assert sched._rank(0) < before
+        assert sched.quanta == 1
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            AtlasScheduler(decay=0.0)
+
+
+class TestMinimalist:
+    def test_low_mlp_thread_first(self):
+        sched = MinimalistScheduler()
+        heavy = [txn(i, core=0) for i in range(5)]
+        light = txn(10, core=1)
+        ctrl = FakeController(heavy + [light])
+        chosen = sched.select([cas(heavy[0]), cas(light)], ctrl, 0)
+        assert chosen.txn is light
+
+    def test_demand_beats_prefetch(self):
+        sched = MinimalistScheduler()
+        pf = txn(1, core=0, is_prefetch=True)
+        demand = txn(2, core=0)
+        ctrl = FakeController([pf, demand])
+        chosen = sched.select([cas(pf), cas(demand)], ctrl, 0)
+        assert chosen.txn is demand
+
+
+class TestFieldsLike:
+    def test_marks_long_latency_loads(self):
+        p = FieldsLikePredictor(latency_threshold=40, mark_ratio=0.5)
+        for _ in range(4):
+            p.record_latency(7, 100)
+        assert p.is_critical(7)
+
+    def test_short_latency_loads_unmarked(self):
+        p = FieldsLikePredictor(latency_threshold=40, mark_ratio=0.5)
+        for _ in range(10):
+            p.record_latency(7, 3)
+        assert not p.is_critical(7)
+
+    def test_does_not_differentiate_among_misses(self):
+        # The paper's exclusion argument: two loads with very different
+        # stall magnitudes get the same binary answer.
+        p = FieldsLikePredictor(latency_threshold=40, mark_ratio=0.2)
+        for _ in range(5):
+            p.record_latency(1, 60)      # barely long
+            p.record_latency(2, 5000)    # enormously long
+        assert p.is_critical(1) == p.is_critical(2) is True
+
+    def test_provider_annotation(self):
+        prov = FieldsLikeProvider(latency_threshold=40, mark_ratio=0.2)
+        assert prov.annotate(9) == (False, 0)
+        prov.on_blocked_commit(9, 200, 0)
+        assert prov.annotate(9) == (True, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldsLikePredictor(latency_threshold=0)
+        with pytest.raises(ValueError):
+            FieldsLikePredictor(mark_ratio=0.0)
+        with pytest.raises(ValueError):
+            FieldsLikePredictor(entries=100)
+
+
+class TestReport:
+    def _result(self):
+        from repro.experiments.common import ExperimentResult
+
+        return ExperimentResult(
+            "demo", "Demo", ["name", "speedup"],
+            [{"name": "a", "speedup": 1.25}, {"name": "b", "speedup": 0.9}],
+            notes="note",
+        )
+
+    def test_markdown(self):
+        from repro.sim.report import to_markdown
+
+        md = to_markdown(self._result())
+        assert "| name | speedup |" in md
+        assert "| a | 1.250 |" in md
+        assert "*note*" in md
+
+    def test_csv(self):
+        from repro.sim.report import to_csv
+
+        text = to_csv(self._result())
+        assert text.splitlines()[0] == "name,speedup"
+        assert "a,1.250" in text
+
+    def test_bar_chart(self):
+        from repro.sim.report import bar_chart
+
+        chart = bar_chart(self._result(), "name", "speedup")
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")
+        assert "#" in lines[0]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fr-fcfs" in out
+        assert "fig4" in out
+
+    def test_experiment_overhead_markdown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["experiment", "overhead", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| predictor |" in out
+
+    def test_run_command(self, capsys, monkeypatch):
+        from repro.__main__ import main
+        from repro.workloads.synthetic import clear_trace_cache
+
+        clear_trace_cache()
+        assert main(["run", "radix", "--instructions", "700"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        clear_trace_cache()

@@ -1,0 +1,111 @@
+"""Open-page precharge policy: scheduler-owned admissibility rules."""
+
+import pytest
+
+from repro.core.critsched import CasRasCritScheduler, CritCasRasScheduler
+from repro.dram.addressmap import DramLocation
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+from repro.sched.frfcfs import FrFcfsScheduler
+from repro.sched.tcm_crit import TcmCritScheduler
+
+
+class FakeController:
+    def __init__(self, reads=()):
+        self.read_queue = list(reads)
+        self.write_queue = []
+
+    class config:
+        row_idle_precharge_cycles = 12
+
+
+def txn(seq, critical=False, magnitude=0):
+    t = Transaction(0, DramLocation(0, 0, 0, 1, 0), core=0,
+                    critical=critical, magnitude=magnitude)
+    t.seq = seq
+    t.arrival = 0
+    return t
+
+
+def pre(t, blocked_by_hits=False, hit_is_critical=False, row_idle=100):
+    return CandidateCommand(
+        CommandKind.PRECHARGE, t, 0, 0, 5,
+        blocked_by_hits=blocked_by_hits,
+        hit_is_critical=hit_is_critical,
+        row_idle=row_idle,
+    )
+
+
+class TestBasePolicy:
+    def test_frfcfs_never_closes_row_with_pending_hits(self):
+        sched = FrFcfsScheduler()
+        t = txn(1)
+        cand = pre(t, blocked_by_hits=True)
+        assert not sched.pre_admissible(cand, FakeController([t]))
+
+    def test_frfcfs_respects_idle_threshold(self):
+        sched = FrFcfsScheduler()
+        t = txn(1)
+        assert not sched.pre_admissible(pre(t, row_idle=5), FakeController([t]))
+        assert sched.pre_admissible(pre(t, row_idle=12), FakeController([t]))
+
+    def test_non_precharge_always_admissible(self):
+        sched = FrFcfsScheduler()
+        t = txn(1)
+        cas = CandidateCommand(CommandKind.READ, t, 0, 0, 1)
+        assert sched.pre_admissible(cas, FakeController([t]))
+
+    def test_frfcfs_select_skips_blocked_pre(self):
+        sched = FrFcfsScheduler()
+        t = txn(1)
+        cand = pre(t, blocked_by_hits=True)
+        assert sched.select([cand], FakeController([t]), 0) is None
+
+
+@pytest.mark.parametrize("sched_cls", [
+    CasRasCritScheduler, CritCasRasScheduler, TcmCritScheduler,
+])
+class TestCriticalityPolicy:
+    def test_critical_conflict_may_preempt_noncritical_hits(self, sched_cls):
+        sched = sched_cls()
+        t = txn(1, critical=True, magnitude=500)
+        cand = pre(t, blocked_by_hits=True, hit_is_critical=False, row_idle=0)
+        assert sched.pre_admissible(cand, FakeController([t]))
+
+    def test_critical_hits_stay_protected(self, sched_cls):
+        sched = sched_cls()
+        t = txn(1, critical=True, magnitude=500)
+        cand = pre(t, blocked_by_hits=True, hit_is_critical=True, row_idle=0)
+        assert not sched.pre_admissible(cand, FakeController([t]))
+
+    def test_noncritical_conflict_uses_base_rule(self, sched_cls):
+        sched = sched_cls()
+        t = txn(1, critical=False)
+        blocked = pre(t, blocked_by_hits=True, row_idle=100)
+        idle_ok = pre(t, blocked_by_hits=False, row_idle=100)
+        ctrl = FakeController([t])
+        assert not sched.pre_admissible(blocked, ctrl)
+        assert sched.pre_admissible(idle_ok, ctrl)
+
+
+class TestCritCasRasPreemption:
+    def test_critical_pre_beats_noncritical_cas(self):
+        """The arrangement difference the mechanism experiment exposes."""
+        sched = CritCasRasScheduler()
+        hog = txn(1, critical=False)
+        walker = txn(2, critical=True, magnitude=500)
+        hog_cas = CandidateCommand(CommandKind.READ, hog, 0, 1, 3)
+        walker_pre = pre(walker, blocked_by_hits=True, hit_is_critical=False)
+        chosen = sched.select([hog_cas, walker_pre],
+                              FakeController([hog, walker]), 0)
+        assert chosen is walker_pre
+
+    def test_casras_crit_cannot_preempt(self):
+        sched = CasRasCritScheduler()
+        hog = txn(1, critical=False)
+        walker = txn(2, critical=True, magnitude=500)
+        hog_cas = CandidateCommand(CommandKind.READ, hog, 0, 1, 3)
+        walker_pre = pre(walker, blocked_by_hits=True, hit_is_critical=False)
+        chosen = sched.select([hog_cas, walker_pre],
+                              FakeController([hog, walker]), 0)
+        assert chosen is hog_cas

@@ -1,0 +1,98 @@
+"""Criticality providers: the processor-side interface."""
+
+from repro.core.cbp import CbpMetric
+from repro.core.provider import (
+    CbpProvider,
+    ClptProvider,
+    CriticalityProvider,
+    NaiveForwardingProvider,
+    NullProvider,
+)
+from repro.dram.transaction import Transaction
+from repro.dram.addressmap import DramLocation
+
+
+def make_txn():
+    return Transaction(0, DramLocation(0, 0, 0, 0, 0))
+
+
+class TestNullProvider:
+    def test_never_critical(self):
+        p = NullProvider()
+        assert p.annotate(123) == (False, 0)
+
+    def test_hooks_are_noops(self):
+        p = CriticalityProvider()
+        p.on_block_start(1, 0)
+        p.on_blocked_commit(1, 10, 100)
+        p.on_load_consumers(1, 3)
+        p.tick(5)
+
+
+class TestCbpProvider:
+    def test_binary_flow(self):
+        p = CbpProvider(entries=64, metric=CbpMetric.BINARY)
+        assert p.annotate(9) == (False, 0)
+        p.on_block_start(9, 100)
+        assert p.annotate(9) == (True, 1)
+
+    def test_ranked_flow(self):
+        p = CbpProvider(entries=64, metric=CbpMetric.MAX_STALL)
+        p.on_block_start(9, 100)
+        assert p.annotate(9) == (False, 0)  # stall not yet written
+        p.on_blocked_commit(9, 250, 400)
+        assert p.annotate(9) == (True, 250)
+
+    def test_tick_resets(self):
+        p = CbpProvider(entries=64, metric=CbpMetric.BINARY, reset_interval=50)
+        p.on_block_start(9, 0)
+        p.tick(50)
+        assert p.annotate(9) == (False, 0)
+
+
+class TestClptProvider:
+    def test_binary_mode(self):
+        p = ClptProvider(threshold=3, ranked=False)
+        p.on_load_consumers(4, 5)
+        assert p.annotate(4) == (True, 1)
+
+    def test_ranked_mode(self):
+        p = ClptProvider(threshold=3, ranked=True)
+        p.on_load_consumers(4, 5)
+        assert p.annotate(4) == (True, 5)
+
+    def test_below_threshold(self):
+        p = ClptProvider(threshold=3)
+        p.on_load_consumers(4, 1)
+        assert p.annotate(4) == (False, 0)
+
+
+class TestNaiveForwarding:
+    def test_promotes_after_latency(self):
+        events = []
+        p = NaiveForwardingProvider(forward_latency=10,
+                                    defer=lambda c, fn: events.append((c, fn)))
+        txn = make_txn()
+        p.on_block_start(5, 100, txn)
+        assert not txn.critical
+        cycle, fn = events[0]
+        assert cycle == 110
+        fn()
+        assert txn.critical
+        assert txn.magnitude == 1
+        assert p.promotions == 1
+
+    def test_never_predicts(self):
+        p = NaiveForwardingProvider()
+        assert p.annotate(5) == (False, 0)
+
+    def test_immediate_without_defer(self):
+        p = NaiveForwardingProvider()
+        txn = make_txn()
+        p.on_block_start(5, 100, txn)
+        assert txn.critical
+
+    def test_no_txn_is_noop(self):
+        p = NaiveForwardingProvider()
+        p.on_block_start(5, 100, None)
+        assert p.promotions == 0

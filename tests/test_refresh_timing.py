@@ -1,0 +1,68 @@
+"""Refresh scheduling details and starvation-adjacent controller behaviour."""
+
+import pytest
+
+from repro.config import DDR3_2133, DramConfig
+from repro.dram.controller import MemorySystem
+from repro.sched.frfcfs import FrFcfsScheduler
+
+
+def make_memsys(**kw):
+    return MemorySystem(DramConfig(**kw), lambda c: FrFcfsScheduler())
+
+
+class TestRefreshCadence:
+    def test_refresh_rate_matches_trefi(self):
+        memsys = make_memsys(ranks_per_channel=2)
+        interval = DDR3_2133.refresh_interval_cycles
+        horizon = interval * 10
+        for cycle in range(horizon * 4):
+            memsys.step(cycle)
+        for ch in memsys.channels:
+            # ~10 refreshes per rank, 2 ranks (first is staggered later).
+            assert 14 <= ch.stats.refreshes <= 22
+
+    def test_refresh_precharges_open_banks_first(self):
+        memsys = make_memsys(ranks_per_channel=1)
+        # Open a row just before the refresh deadline.
+        interval = DDR3_2133.refresh_interval_cycles
+        open_at = (interval - 30) * 4
+        txn = memsys.make_transaction(0, core=0)
+        done = []
+        txn.callback = lambda d: done.append(d)
+        for cycle in range(open_at):
+            memsys.step(cycle)
+        memsys.try_enqueue(txn, open_at)
+        for cycle in range(open_at, (interval + 400) * 4):
+            memsys.step(cycle)
+        ch = memsys.channels[0]
+        assert done
+        assert ch.stats.refreshes >= 1
+        # The refresh had to close the open row: at least one precharge.
+        assert ch.stats.precharges >= 1
+
+
+class TestBankBlockedDuringRefresh:
+    def test_read_after_refresh_waits_trfc(self):
+        memsys = make_memsys(ranks_per_channel=1)
+        interval = DDR3_2133.refresh_interval_cycles
+        # Let the first refresh fire on an idle channel.
+        fire_window = (interval + 20) * 4
+        for cycle in range(fire_window):
+            memsys.step(cycle)
+        ch = memsys.channels[0]
+        assert ch.stats.refreshes == 1
+        # A read right after the REF must wait out tRFC: its total
+        # latency exceeds the uncontended service time.
+        txn = memsys.make_transaction(0, core=0)
+        done = []
+        txn.callback = lambda d: done.append(d)
+        memsys.try_enqueue(txn, fire_window)
+        cycle = fire_window
+        while not done and cycle < fire_window + 4 * 1000:
+            memsys.step(cycle)
+            cycle += 1
+        t = DDR3_2133
+        uncontended = t.tRCD + t.tCL + t.burst_cycles
+        latency = done[0] - fire_window // 4
+        assert latency >= uncontended

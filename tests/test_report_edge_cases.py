@@ -1,0 +1,56 @@
+"""Result renderer edge cases."""
+
+from repro.experiments.common import ExperimentResult
+from repro.sim.report import bar_chart, to_csv, to_markdown
+
+
+def empty_result():
+    return ExperimentResult("empty", "Empty", ["a", "b"], [])
+
+
+class TestEmptyResults:
+    def test_table_renders_header_only(self):
+        text = empty_result().table()
+        assert "empty" in text
+        assert "a" in text
+
+    def test_markdown_renders(self):
+        md = to_markdown(empty_result())
+        assert "| a | b |" in md
+
+    def test_csv_has_header(self):
+        assert to_csv(empty_result()).strip() == "a,b"
+
+    def test_bar_chart_handles_no_numeric_rows(self):
+        assert "no numeric data" in bar_chart(empty_result(), "a", "b")
+
+
+class TestBarChartScaling:
+    def _result(self):
+        return ExperimentResult(
+            "r", "R", ["k", "v"],
+            [{"k": "x", "v": 2.0}, {"k": "y", "v": 4.0}],
+        )
+
+    def test_reference_none_scales_to_max(self):
+        chart = bar_chart(self._result(), "k", "v", width=10, reference=None)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10   # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_mixed_types_skipped(self):
+        result = ExperimentResult(
+            "r", "R", ["k", "v"],
+            [{"k": "x", "v": 1.0}, {"k": "y", "v": "n/a"}],
+        )
+        chart = bar_chart(result, "k", "v")
+        assert len(chart.splitlines()) == 1
+
+
+class TestNoneFormatting:
+    def test_none_rendered_as_dash(self):
+        result = ExperimentResult(
+            "r", "R", ["k", "v"], [{"k": "x", "v": None}]
+        )
+        assert "| x | - |" in to_markdown(result)
+        assert "-" in result.table()

@@ -1,0 +1,36 @@
+"""Runner convenience helpers."""
+
+import pytest
+
+from repro.config import SimScale
+from repro.sim.runner import parallel_average_speedup
+from repro.workloads.synthetic import clear_trace_cache
+
+TINY = SimScale(instructions_per_core=700, warmup_instructions=100)
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestParallelAverageSpeedup:
+    def test_shape(self):
+        out = parallel_average_speedup(
+            ("radix",), "casras-crit",
+            provider_spec=("cbp", {"entries": 64}), scale=TINY,
+        )
+        assert set(out) == {"per_app", "average"}
+        assert set(out["per_app"]) == {"radix"}
+        assert out["average"] == out["per_app"]["radix"]
+        assert out["average"] > 0.5
+
+    def test_self_comparison_is_unity(self):
+        out = parallel_average_speedup(("radix",), "fr-fcfs", scale=TINY)
+        assert out["average"] == pytest.approx(1.0)
+
+    def test_empty_apps(self):
+        out = parallel_average_speedup((), "fr-fcfs", scale=TINY)
+        assert out["average"] == 0.0

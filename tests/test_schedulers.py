@@ -1,0 +1,167 @@
+"""Scheduler selection policies, tested against fabricated queue states."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.core.critsched import CasRasCritScheduler, CritCasRasScheduler
+from repro.dram.addressmap import DramLocation
+from repro.dram.command import CandidateCommand, CommandKind
+from repro.dram.transaction import Transaction
+from repro.sched.fcfs import FcfsScheduler
+from repro.sched.frfcfs import FrFcfsScheduler
+
+
+class FakeController:
+    """Just enough controller surface for scheduler unit tests."""
+
+    def __init__(self, reads=()):
+        self.read_queue = list(reads)
+        self.write_queue = []
+        self.banks = None
+
+
+def txn(seq, core=0, critical=False, magnitude=0, is_write=False):
+    t = Transaction(0, DramLocation(0, 0, 0, 0, 0), is_write=is_write,
+                    core=core, critical=critical, magnitude=magnitude)
+    t.seq = seq
+    t.arrival = 0
+    return t
+
+
+def cas(t):
+    return CandidateCommand(
+        CommandKind.WRITE if t.is_write else CommandKind.READ, t, 0, 0, 0
+    )
+
+
+def ras(t):
+    return CandidateCommand(CommandKind.ACTIVATE, t, 0, 0, 0)
+
+
+class TestFrFcfs:
+    def test_cas_beats_older_ras(self):
+        sched = FrFcfsScheduler()
+        a, b = txn(1), txn(2)
+        chosen = sched.select([ras(a), cas(b)], FakeController([a, b]), 0)
+        assert chosen.is_cas
+
+    def test_oldest_cas_wins(self):
+        sched = FrFcfsScheduler()
+        a, b = txn(5), txn(2)
+        chosen = sched.select([cas(a), cas(b)], FakeController([a, b]), 0)
+        assert chosen.txn.seq == 2
+
+    def test_oldest_ras_when_no_cas(self):
+        sched = FrFcfsScheduler()
+        a, b = txn(5), txn(2)
+        chosen = sched.select([ras(a), ras(b)], FakeController([a, b]), 0)
+        assert chosen.txn.seq == 2
+
+
+class TestFcfs:
+    def test_strictly_oldest(self):
+        sched = FcfsScheduler()
+        a, b = txn(5), txn(2)
+        chosen = sched.select([cas(a), ras(b)], FakeController([a, b]), 0)
+        assert chosen.txn.seq == 2
+
+
+class TestCasRasCrit:
+    def test_critical_cas_beats_older_noncritical_cas(self):
+        sched = CasRasCritScheduler()
+        old = txn(1, core=0)
+        crit = txn(2, core=1, critical=True, magnitude=400)
+        ctrl = FakeController([old, crit])
+        chosen = sched.select([cas(old), cas(crit)], ctrl, 0)
+        assert chosen.txn is crit
+
+    def test_noncritical_cas_beats_critical_ras(self):
+        sched = CasRasCritScheduler()
+        nc = txn(1, core=0)
+        crit = txn(2, core=1, critical=True, magnitude=400)
+        ctrl = FakeController([nc, crit])
+        chosen = sched.select([cas(nc), ras(crit)], ctrl, 0)
+        assert chosen.txn is nc
+
+    def test_magnitude_orders_critical_cas(self):
+        sched = CasRasCritScheduler(magnitude_shift=0)
+        lo = txn(1, core=0, critical=True, magnitude=50)
+        hi = txn(2, core=1, critical=True, magnitude=500)
+        ctrl = FakeController([lo, hi])
+        chosen = sched.select([cas(lo), cas(hi)], ctrl, 0)
+        assert chosen.txn is hi
+
+    def test_magnitude_bucketing_preserves_age_order(self):
+        sched = CasRasCritScheduler(magnitude_shift=5)
+        older = txn(1, core=0, critical=True, magnitude=100)
+        newer = txn(2, core=1, critical=True, magnitude=110)  # same bucket
+        ctrl = FakeController([older, newer])
+        chosen = sched.select([cas(older), cas(newer)], ctrl, 0)
+        assert chosen.txn is older
+
+    def test_within_core_age_order_never_inverted(self):
+        # A core's younger request with a larger magnitude must not beat
+        # its own older request (prefix-max urgency).
+        sched = CasRasCritScheduler(magnitude_shift=0)
+        older = txn(1, core=0, critical=True, magnitude=10)
+        newer = txn(2, core=0, critical=True, magnitude=900)
+        ctrl = FakeController([older, newer])
+        chosen = sched.select([cas(older), cas(newer)], ctrl, 0)
+        assert chosen.txn is older
+
+    def test_cross_core_uses_own_magnitude_at_head(self):
+        sched = CasRasCritScheduler(magnitude_shift=0)
+        a = txn(1, core=0, critical=True, magnitude=10)
+        b = txn(2, core=1, critical=True, magnitude=900)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([cas(a), cas(b)], ctrl, 0)
+        assert chosen.txn is b
+
+    def test_writes_lowest_within_cas(self):
+        sched = CasRasCritScheduler()
+        w = txn(1, is_write=True)
+        crit = txn(2, core=1, critical=True, magnitude=100)
+        ctrl = FakeController([crit])
+        chosen = sched.select([cas(w), cas(crit)], ctrl, 0)
+        assert chosen.txn is crit
+
+    def test_starvation_cap_promotes(self):
+        sched = CasRasCritScheduler(starvation_cap=100)
+        starved = txn(1, core=0)
+        starved.arrival = 0
+        crit = txn(2, core=1, critical=True, magnitude=400)
+        ctrl = FakeController([starved, crit])
+        chosen = sched.select([cas(starved), cas(crit)], ctrl, now=200)
+        assert chosen.txn is starved
+        assert sched.promotions == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CasRasCritScheduler(starvation_cap=0)
+        with pytest.raises(ValueError):
+            CasRasCritScheduler(magnitude_shift=-1)
+
+
+class TestCritCasRas:
+    def test_critical_ras_beats_noncritical_cas(self):
+        sched = CritCasRasScheduler()
+        nc = txn(1, core=0)
+        crit = txn(2, core=1, critical=True, magnitude=400)
+        ctrl = FakeController([nc, crit])
+        chosen = sched.select([cas(nc), ras(crit)], ctrl, 0)
+        assert chosen.txn is crit
+
+    def test_critical_cas_beats_critical_ras(self):
+        sched = CritCasRasScheduler()
+        a = txn(1, core=0, critical=True, magnitude=400)
+        b = txn(2, core=1, critical=True, magnitude=400)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([ras(a), cas(b)], ctrl, 0)
+        assert chosen.txn is b
+
+    def test_noncritical_cas_before_noncritical_ras(self):
+        sched = CritCasRasScheduler()
+        a, b = txn(1), txn(2)
+        ctrl = FakeController([a, b])
+        chosen = sched.select([ras(a), cas(b)], ctrl, 0)
+        assert chosen.txn is b

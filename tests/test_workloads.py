@@ -1,0 +1,156 @@
+"""Workload generators: determinism, mix, structure."""
+
+import pytest
+
+from repro.cpu.instruction import BRANCH, LOAD, STORE
+from repro.workloads.models import PARALLEL_APPS, SPEC_APPS
+from repro.workloads.multiprog import BUNDLES, bundle_traces
+from repro.workloads.parallel import PARALLEL_APP_NAMES, parallel_traces
+from repro.workloads.synthetic import clear_trace_cache, generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestDeterminism:
+    def test_same_args_same_trace(self):
+        model = PARALLEL_APPS["fft"]
+        clear_trace_cache()
+        a = generate_trace(model, 2000, 0, 8, seed=1)
+        clear_trace_cache()
+        b = generate_trace(model, 2000, 0, 8, seed=1)
+        assert a.itypes == b.itypes
+        assert a.addrs == b.addrs
+        assert a.pcs == b.pcs
+
+    def test_seeds_differ(self):
+        model = PARALLEL_APPS["fft"]
+        a = generate_trace(model, 2000, 0, 8, seed=1)
+        b = generate_trace(model, 2000, 0, 8, seed=2)
+        assert a.addrs != b.addrs
+
+    def test_cache_returns_same_object(self):
+        model = PARALLEL_APPS["fft"]
+        a = generate_trace(model, 2000, 0, 8, seed=1)
+        b = generate_trace(model, 2000, 0, 8, seed=1)
+        assert a is b
+
+
+class TestStructure:
+    def test_exact_length(self):
+        model = PARALLEL_APPS["mg"]
+        trace = generate_trace(model, 3333, 0, 8, seed=1)
+        assert len(trace) == 3333
+
+    def test_threads_share_static_code(self):
+        t0 = parallel_traces("fft", 2, 8000, seed=1)[0]
+        t1 = parallel_traces("fft", 2, 8000, seed=1)[1]
+        # Same SPMD program: the threads draw PCs from one static pool
+        # (which loop bodies each thread visits varies).
+        shared = t0.static_pcs() & t1.static_pcs()
+        assert shared
+        universe = t0.static_pcs() | t1.static_pcs()
+        assert max(universe) < 16 * 1024  # one program's PC space
+
+    def test_threads_have_disjoint_private_regions(self):
+        traces = parallel_traces("fft", 2, 4000, seed=1)
+        model = PARALLEL_APPS["fft"]
+        shared_limit = max(64 * 1024, model.footprint_bytes // 4)
+        private = []
+        for t in traces:
+            addrs = {a for a, ty in zip(t.addrs, t.itypes)
+                     if ty in (LOAD, STORE) and a >= shared_limit}
+            private.append(addrs)
+        assert not (private[0] & private[1])
+
+    def test_prewarm_hints_present(self):
+        trace = generate_trace(PARALLEL_APPS["fft"], 1000, 0, 8, seed=1)
+        assert len(trace.prewarm) == 2
+        levels = {level for _b, _n, level in trace.prewarm}
+        assert levels == {1, 2}
+
+    def test_dependencies_point_backwards(self):
+        trace = generate_trace(PARALLEL_APPS["scalparc"], 3000, 0, 8, seed=1)
+        for i in range(len(trace)):
+            assert trace.dep1[i] >= 0
+            assert trace.dep2[i] >= 0
+
+    def test_mispredicts_only_on_branches(self):
+        trace = generate_trace(PARALLEL_APPS["fft"], 3000, 0, 8, seed=1)
+        for ty, m in zip(trace.itypes, trace.misp):
+            if m:
+                assert ty == BRANCH
+
+
+class TestMix:
+    def test_load_fraction_close_to_model(self):
+        model = PARALLEL_APPS["swim"]
+        trace = generate_trace(model, 20000, 0, 8, seed=1)
+        loads = trace.count_type(LOAD) / len(trace)
+        # Base mix plus planted burst loads.
+        assert model.load_frac * 0.7 < loads < model.load_frac + 0.15
+
+    def test_memory_intensive_app_has_more_cold_traffic(self):
+        # 'mg' (M) should touch far more distinct high addresses than 'ep' (P).
+        def distinct_cold(name):
+            model = SPEC_APPS[name]
+            trace = generate_trace(model, 15000, 0, 1, seed=1)
+            hot_warm = model.hot_bytes + model.warm_bytes + 64 * 1024 * 16
+            return len({
+                a // 64 for a, ty in zip(trace.addrs, trace.itypes)
+                if ty == LOAD and a > hot_warm
+            })
+        assert distinct_cold("mg") > 3 * distinct_cold("ep")
+
+
+class TestBundles:
+    def test_all_bundles_defined(self):
+        assert set(BUNDLES) == {
+            "AELV", "CMLI", "GAMV", "GDPC", "GSMV", "RFEV", "RFGI", "RGTM"
+        }
+
+    def test_bundles_are_four_apps(self):
+        for apps in BUNDLES.values():
+            assert len(apps) == 4
+            for app in apps:
+                assert app in SPEC_APPS
+
+    def test_disjoint_pc_and_address_spaces(self):
+        traces = bundle_traces("AELV", 3000, seed=1)
+        pcs = [t.static_pcs() for t in traces]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (pcs[i] & pcs[j])
+        addr_sets = [
+            {a for a, ty in zip(t.addrs, t.itypes) if ty in (LOAD, STORE) and a}
+            for t in traces
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (addr_sets[i] & addr_sets[j])
+
+    def test_unknown_bundle_raises(self):
+        with pytest.raises(ValueError):
+            bundle_traces("NOPE", 100)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError):
+            parallel_traces("nosuch", 2, 100)
+
+
+class TestModels:
+    def test_nine_parallel_apps(self):
+        assert len(PARALLEL_APPS) == 9
+        assert set(PARALLEL_APP_NAMES) == set(PARALLEL_APPS)
+
+    def test_sensitivity_classes(self):
+        assert SPEC_APPS["ep"].sensitivity == "P"
+        assert SPEC_APPS["mcf"].sensitivity == "M"
+        assert SPEC_APPS["vpr"].sensitivity == "C"
+
+    def test_ocean_has_large_static_population(self):
+        assert PARALLEL_APPS["ocean"].static_loads > 5 * PARALLEL_APPS["art"].static_loads

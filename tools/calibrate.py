@@ -1,0 +1,58 @@
+"""Calibration helper: per-app operating-point statistics.
+
+Usage: python tools/calibrate.py [app ...]
+"""
+
+import sys
+import time
+
+import repro
+from repro.workloads.parallel import PARALLEL_APP_NAMES
+
+
+def describe(app, scale=None):
+    from repro.config import DEFAULT_SCALE
+
+    scale = scale or DEFAULT_SCALE
+    t0 = time.time()
+    base = repro.run_parallel_workload(app, scale=scale)
+    crit = repro.run_parallel_workload(
+        app, scheduler="casras-crit",
+        provider_spec=("cbp", {"entries": 64}), scale=scale,
+    )
+    h = base.hierarchy
+    hc = crit.hierarchy
+    instr = base.total_committed
+    dram_mpki = 1000.0 * h.dram_loads / instr
+    ch = base.channels[0]
+    dram_cycles = base.cycles / 4
+    bus_util = (ch.reads_done + ch.writes_done) * 4 / dram_cycles
+    crit_frac = (
+        hc.crit_latency_n / (hc.crit_latency_n + hc.noncrit_latency_n)
+        if (hc.crit_latency_n + hc.noncrit_latency_n)
+        else 0.0
+    )
+    def wait(res):
+        cs = ns = cn = nn = 0
+        for c in res.channels:
+            cs += c.crit_wait_sum; cn += c.crit_wait_n
+            ns += c.noncrit_wait_sum; nn += c.noncrit_wait_n
+        return (cs / cn if cn else 0, ns / nn if nn else 0, cn, nn)
+
+    bw = wait(base)
+    cw = wait(crit)
+    print(
+        f"{app:9s} ipc={base.system_ipc:5.2f} l1={h.l1_load_hits/max(1,h.loads):4.2f} "
+        f"l2hit={h.l2_hit_rate:4.2f} MPKI={dram_mpki:5.1f} "
+        f"blkld={base.blocking_load_fraction():5.3f} blkcyc={base.blocked_cycle_fraction():4.2f} "
+        f"bus={bus_util:4.2f} qocc={ch.queue_occupancy_sum/max(1,ch.queue_samples):4.1f} "
+        f"critfrac={crit_frac:4.2f} "
+        f"wait base {bw[0]:.0f}/{bw[1]:.0f} crit {cw[0]:.0f}/{cw[1]:.0f} (n {cw[2]}/{cw[3]}) "
+        f"spd={repro.speedup(base, crit):6.3f} t={time.time()-t0:4.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    apps = sys.argv[1:] or PARALLEL_APP_NAMES
+    for app in apps:
+        describe(app)
