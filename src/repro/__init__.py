@@ -45,13 +45,20 @@ from repro.core import (
 )
 from repro.sched import SCHEDULERS, make_scheduler_factory
 from repro.sim import System
+from repro.sim.engine import RunSpec, run_many, run_one, run_one_cached
 from repro.sim.runner import (
     parallel_average_speedup,
     run_application_alone,
     run_multiprogrammed_workload,
     run_parallel_workload,
 )
-from repro.sim.stats import SimResult, maximum_slowdown, speedup, weighted_speedup
+from repro.sim.stats import (
+    SimResult,
+    maximum_slowdown,
+    result_fingerprint,
+    speedup,
+    weighted_speedup,
+)
 from repro.workloads import BUNDLES, PARALLEL_APP_NAMES
 
 __version__ = "1.0.0"
@@ -76,6 +83,7 @@ __all__ = [
     "NaiveForwardingProvider",
     "PARALLEL_APP_NAMES",
     "PrefetcherConfig",
+    "RunSpec",
     "SCHEDULERS",
     "SimResult",
     "SimScale",
@@ -85,8 +93,12 @@ __all__ = [
     "make_scheduler_factory",
     "maximum_slowdown",
     "parallel_average_speedup",
+    "result_fingerprint",
     "run_application_alone",
+    "run_many",
     "run_multiprogrammed_workload",
+    "run_one",
+    "run_one_cached",
     "run_parallel_workload",
     "speedup",
     "weighted_speedup",

@@ -4,12 +4,47 @@
     python -m repro run fft --scheduler casras-crit --cbp 64
     python -m repro experiment fig4 [--markdown] [--csv]
     python -m repro experiment all             # regenerate everything
+
+``run`` and ``experiment`` accept engine flags: ``--jobs N`` (worker
+processes), ``--no-cache`` (bypass the on-disk result cache),
+``--no-skip`` (force the cycle-by-cycle loop), and ``--verify-skip``
+(run everything twice and assert fast-forwarded results are
+bit-identical).  Each is the CLI face of the corresponding
+``REPRO_*`` environment variable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _apply_engine_flags(args) -> None:
+    """Translate engine CLI flags into the env vars the runner reads."""
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if getattr(args, "no_skip", False):
+        os.environ["REPRO_NO_SKIP"] = "1"
+    if getattr(args, "verify_skip", False):
+        os.environ["REPRO_VERIFY_SKIP"] = "1"
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for batched runs "
+                             "(default: all CPUs; env REPRO_JOBS)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache "
+                             "(env REPRO_NO_CACHE)")
+    parser.add_argument("--no-skip", action="store_true",
+                        help="disable cycle fast-forwarding "
+                             "(env REPRO_NO_SKIP)")
+    parser.add_argument("--verify-skip", action="store_true",
+                        help="cross-check fast-forwarded runs against the "
+                             "cycle-by-cycle loop (env REPRO_VERIFY_SKIP)")
 
 
 def _cmd_list(args) -> int:
@@ -81,17 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CBP entries (0 disables the predictor)")
     run_p.add_argument("--instructions", type=int, default=12_000)
     run_p.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(run_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("id", help="experiment id (e.g. fig4) or 'all'")
     exp_p.add_argument("--markdown", action="store_true")
     exp_p.add_argument("--csv", action="store_true")
+    _add_engine_flags(exp_p)
 
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_engine_flags(args)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,

@@ -118,6 +118,11 @@ class MemoryHierarchy:
         # store buffer).  When it fills, the core must stall commit.
         self._store_backlog = [0] * config.cores
         self.store_buffer_entries = 12
+        # Installed by System: wakes a core whose quiescent state this
+        # module invalidates from the event domain (store-buffer drains,
+        # an outstanding load turning out to be DRAM-bound).  See
+        # OutOfOrderCore.skip_plan.
+        self._wake_core = lambda core: None
 
     # ------------------------------------------------------------------ loads
 
@@ -178,6 +183,7 @@ class MemoryHierarchy:
         if line is not None:
             if _retry:
                 self._store_backlog[core] -= 1
+                self._wake_core(core)
             if line.state == "M":
                 line.dirty = True
                 return
@@ -192,6 +198,7 @@ class MemoryHierarchy:
         if entry is not None:
             if _retry:
                 self._store_backlog[core] -= 1
+                self._wake_core(core)
             entry.rfo = True
             return
         entry = mshr.allocate(line32)
@@ -207,6 +214,7 @@ class MemoryHierarchy:
             return
         if _retry:
             self._store_backlog[core] -= 1
+            self._wake_core(core)
         entry.rfo = True
         t_l2 = now + self._l1_hit_lat + max(0, self._l2_half - self._l1_hit_lat)
         self.events.schedule(
@@ -281,6 +289,7 @@ class MemoryHierarchy:
         for handle, _cb in entry.waiters:
             handle.txn = txn
             handle.went_to_dram = True
+        self._wake_core(core)
 
     def _enqueue_with_retry(self, txn) -> None:
         if not self.memsys.try_enqueue(txn, self._now()):
@@ -487,3 +496,7 @@ class MemoryHierarchy:
     def bind_clock(self, clock_fn) -> None:
         """Install the closure returning the current CPU cycle."""
         self._now = clock_fn
+
+    def bind_core_waker(self, wake_fn) -> None:
+        """Install the per-core wake callback used by cycle skipping."""
+        self._wake_core = wake_fn

@@ -134,6 +134,10 @@ class CommitBlockPredictor:
             self._next_reset = cycle + self.reset_interval
             self.resets += 1
 
+    def next_reset_cycle(self) -> int | None:
+        """Cycle of the next pending periodic reset (None = never)."""
+        return self._next_reset
+
     # -- introspection ---------------------------------------------------------
 
     def occupancy(self) -> int:

@@ -43,6 +43,17 @@ class CriticalityProvider:
     def tick(self, cycle: int) -> None:
         """Per-cycle housekeeping hook (table resets)."""
 
+    def next_tick_cycle(self, now: int) -> int | None:
+        """Earliest future cycle at which :meth:`tick` does real work.
+
+        ``None`` means tick is a no-op (or time-insensitive), letting the
+        system skip dead cycles without consulting this provider.  Providers
+        whose ``tick`` has per-cycle effects must override this, or runs
+        with cycle skipping enabled will not be bit-identical to the naive
+        cycle-by-cycle loop.
+        """
+        return None
+
 
 class NullProvider(CriticalityProvider):
     """Explicit name for the no-criticality baseline."""
@@ -75,6 +86,9 @@ class CbpProvider(CriticalityProvider):
 
     def tick(self, cycle: int) -> None:
         self.cbp.tick(cycle)
+
+    def next_tick_cycle(self, now: int) -> int | None:
+        return self.cbp.next_reset_cycle()
 
 
 class ClptProvider(CriticalityProvider):

@@ -136,6 +136,19 @@ class OutOfOrderCore:
         self._fetch_resume = 0
         self.stats = CoreStats()
         self.done = False
+        # Cycle-skipping state (see skip_plan): while quiescent the system
+        # may stop stepping this core until ``skip_until``; the per-cycle
+        # stat increments it owes are settled lazily by flush_skip.
+        self.skip_until = 0
+        self._quiet_deltas = None
+        self._quiet_from = 0
+        # Hysteresis: after skip_plan says "can progress", don't re-plan for
+        # a few cycles.  Purely a throughput knob — skipping fewer cycles is
+        # always bit-identical, so this can't change results.
+        self.plan_defer = 0
+        # Duck-typed providers without next_tick_cycle have unknown tick
+        # semantics; such cores are never skipped (skip_plan bails).
+        self._next_tick = getattr(self.provider, "next_tick_cycle", None)
 
     # --------------------------------------------------------------- helpers
 
@@ -161,6 +174,7 @@ class OutOfOrderCore:
 
     def _complete_at(self, slot: _Slot, cycle: int) -> None:
         """Mark ``slot`` complete at ``cycle`` and wake its dependents."""
+        self.skip_until = 0  # completions can unblock commit/dispatch
         self._complete[slot.idx] = cycle
         if slot is self._fetch_blocker:
             self._fetch_blocker = None
@@ -350,6 +364,129 @@ class OutOfOrderCore:
         self.stats.cycles = now + 1
         if self._ptr >= self._n and self._rob_head >= len(self._rob):
             self.done = True
+
+    # -------------------------------------------------------- cycle skipping
+
+    def skip_plan(self, now: int):
+        """Classify the core's state after cycle ``now`` for fast-forwarding.
+
+        Returns ``None`` when the core could make progress at ``now + 1``
+        (the system must keep stepping cycle by cycle), otherwise a pair
+        ``(wake, deltas)``:
+
+        * ``wake`` — earliest future cycle at which stepping this core might
+          change its state (``None`` = only external events can wake it);
+        * ``deltas`` — the per-cycle stat increments the naive loop would
+          apply while the state holds, as a tuple ``(blocked, blocked_dram,
+          sq_full, dispatch_stall, rob_full, lq_full)``.
+
+        The classification mirrors :meth:`step` exactly; anything uncertain
+        returns ``None`` so skipping stays conservative (and therefore
+        bit-identical to the cycle-by-cycle loop).
+        """
+        next_tick = self._next_tick
+        if next_tick is None:
+            return None  # provider tick semantics unknown: never skip
+        blocked = blocked_dram = sq_full = stall = rob_full = lq_full = 0
+        head_done = -1
+
+        rob = self._rob
+        if self._rob_head < len(rob):
+            head = rob[self._rob_head]
+            done_cycle = self._complete[head.idx]
+            if done_cycle == _UNKNOWN or done_cycle > now:
+                head_done = done_cycle
+                if head.itype == LOAD:
+                    dram_bound = (
+                        head.handle is not None and head.handle.went_to_dram
+                    )
+                    if dram_bound and head.blocking_start < 0:
+                        # First blocked cycle not yet accounted: step it.
+                        return None
+                    blocked = 1
+                    if dram_bound:
+                        blocked_dram = 1
+            elif head.itype == STORE and not self.hierarchy.can_accept_store(
+                self.core_id
+            ):
+                sq_full = 1
+            else:
+                return None  # head commits next cycle
+
+        fetch_resume = 0
+        if self._fetch_blocker is not None:
+            stall = 1
+        elif now + 1 < self._fetch_resume:
+            fetch_resume = self._fetch_resume
+            stall = 1
+        elif self._ptr < self._n:
+            if self._rob_occupancy() >= self.config.rob_entries:
+                rob_full = 1
+            else:
+                itype = self.trace.itypes[self._ptr]
+                if itype == LOAD and self._lq_used >= self.config.load_queue_entries:
+                    lq_full = 1
+                elif (
+                    itype == STORE
+                    and self._sq_used >= self.config.store_queue_entries
+                ):
+                    pass  # dispatch stalls silently on a full store queue
+                else:
+                    return None  # dispatch proceeds next cycle
+
+        # Quiescent: gather the cycles at which stepping could matter again.
+        wake = None
+        if self._wake:
+            wake = min(self._wake)
+        if self._load_issue:
+            first = min(self._load_issue)
+            if wake is None or first < wake:
+                wake = first
+        if head_done > now and (wake is None or head_done < wake):
+            wake = head_done
+        if fetch_resume and (wake is None or fetch_resume < wake):
+            wake = fetch_resume
+        tick = next_tick(now)
+        if tick is not None:
+            tick = max(tick, now + 1)
+            if wake is None or tick < wake:
+                wake = tick
+        return wake, (blocked, blocked_dram, sq_full, stall, rob_full, lq_full)
+
+    def begin_skip(self, plan, now: int, forever: int) -> None:
+        """Enter the quiescent state ``skip_plan`` classified at ``now``."""
+        wake, deltas = plan
+        self._quiet_deltas = deltas
+        self._quiet_from = now + 1
+        self.skip_until = wake if wake is not None else forever
+
+    def wake_skip(self) -> None:
+        """External state change: the core must be stepped again."""
+        self.skip_until = 0
+
+    def flush_skip(self, now: int) -> None:
+        """Settle the stat increments owed for cycles skipped before ``now``."""
+        deltas = self._quiet_deltas
+        self._quiet_deltas = None
+        self.skip_until = 0
+        skipped = now - self._quiet_from
+        if deltas is None or skipped <= 0:
+            return
+        blocked, blocked_dram, sq_full, stall, rob_full, lq_full = deltas
+        stats = self.stats
+        if blocked:
+            stats.blocked_cycles += skipped
+        if blocked_dram:
+            stats.blocked_dram_cycles += skipped
+        if sq_full:
+            stats.sq_full_cycles += skipped
+        if stall:
+            stats.dispatch_stall_cycles += skipped
+        if rob_full:
+            stats.rob_full_cycles += skipped
+        if lq_full:
+            stats.lq_full_cycles += skipped
+        stats.cycles = now
 
     def _prune_fu_bookings(self, now: int) -> None:
         """Drop functional-unit reservations for cycles already past."""

@@ -132,9 +132,12 @@ class ChannelController:
         """Issue at most one command on this channel at DRAM cycle ``now``."""
         stats = self.stats
         nreads = len(self.read_queue)
+        # Sample occupancy every DRAM cycle (empty cycles included), so
+        # queue_occupancy_sum / queue_samples is a true time average rather
+        # than an average over non-empty cycles only.
+        stats.queue_occupancy_sum += nreads
+        stats.queue_samples += 1
         if nreads:
-            stats.queue_occupancy_sum += nreads
-            stats.queue_samples += 1
             ncrit = 0
             for txn in self.read_queue:
                 if txn.critical:
@@ -158,6 +161,21 @@ class ChannelController:
         if chosen is not None:
             self._execute(chosen, now)
             self.scheduler.on_command(chosen, now)
+
+    def next_wake(self, dram_now: int) -> int:
+        """Earliest DRAM cycle > ``dram_now`` at which stepping matters.
+
+        With transactions queued (or a refresh sequence in flight) the
+        channel must be stepped on every DRAM clock edge; otherwise nothing
+        happens until the earliest per-rank refresh deadline.
+        """
+        if self.read_queue or self.write_queue or any(self._refresh_due):
+            return dram_now + 1
+        return max(min(self._next_refresh), dram_now + 1)
+
+    def account_idle(self, cycles: int) -> None:
+        """Record ``cycles`` empty-queue DRAM cycles skipped by fast-forward."""
+        self.stats.queue_samples += cycles
 
     # -- refresh ------------------------------------------------------------
 
@@ -367,3 +385,33 @@ class MemorySystem:
 
     def pending(self) -> int:
         return sum(channel.pending() for channel in self.channels)
+
+    # -- cycle skipping ----------------------------------------------------------
+
+    def next_wake_cpu(self, cpu_now: int) -> int:
+        """Earliest CPU cycle > ``cpu_now`` at which a controller must step."""
+        ratio = self._ratio
+        dram_now = cpu_now // ratio
+        next_edge = (dram_now + 1) * ratio
+        best = None
+        for channel in self.channels:
+            wake = channel.next_wake(dram_now) * ratio
+            if wake < next_edge:
+                wake = next_edge
+            if best is None or wake < best:
+                best = wake
+        return best if best is not None else next_edge
+
+    def fast_forward(self, start_cpu: int, end_cpu: int) -> None:
+        """Account for the DRAM clock edges inside ``[start_cpu, end_cpu)``.
+
+        Fast-forward windows never contain an edge with queued work (see
+        :meth:`next_wake_cpu`), so the only bookkeeping the skipped edges
+        would have done is sampling an occupancy of zero.
+        """
+        ratio = self._ratio
+        edges = (end_cpu - 1) // ratio - (start_cpu - 1) // ratio
+        if edges <= 0:
+            return
+        for channel in self.channels:
+            channel.account_idle(edges)

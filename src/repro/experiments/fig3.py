@@ -14,6 +14,7 @@ from repro.experiments.common import (
     default_seeds,
     geo_or_mean,
     mean_speedup,
+    prefetch_runs,
 )
 
 TABLE_SIZES = (64, 256, 1024, None)
@@ -23,18 +24,42 @@ def _size_label(entries):
     return "unlimited" if entries is None else str(entries)
 
 
+def _configs():
+    configs = [("CLPT-Binary", ("clpt", {"ranked": False}))]
+    configs += [
+        (f"Binary CBP {_size_label(s)}", ("cbp", {"entries": s, "metric": "BINARY"}))
+        for s in TABLE_SIZES
+    ]
+    return configs
+
+
 def run(apps=None, seeds=None, algorithms=("crit-casras", "casras-crit")) -> ExperimentResult:
     apps = apps or default_apps()
     seeds = seeds or default_seeds()
+    prefetch_runs(
+        [
+            {"kind": "parallel", "workload": app, "seed": seed}
+            for seed in seeds
+            for app in apps
+        ]
+        + [
+            {
+                "kind": "parallel",
+                "workload": app,
+                "scheduler": algorithm,
+                "provider_spec": _normalise(spec),
+                "seed": seed,
+            }
+            for seed in seeds
+            for app in apps
+            for algorithm in algorithms
+            for _, spec in _configs()
+        ]
+    )
     columns = ["algorithm", "config"] + list(apps) + ["Average"]
     rows = []
     for algorithm in algorithms:
-        configs = [("CLPT-Binary", ("clpt", {"ranked": False}))]
-        configs += [
-            (f"Binary CBP {_size_label(s)}", ("cbp", {"entries": s, "metric": "BINARY"}))
-            for s in TABLE_SIZES
-        ]
-        for label, spec in configs:
+        for label, spec in _configs():
             spec = _normalise(spec)
             row = {"algorithm": algorithm, "config": label}
             for app in apps:

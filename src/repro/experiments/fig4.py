@@ -15,6 +15,7 @@ from repro.experiments.common import (
     default_seeds,
     geo_or_mean,
     mean_speedup,
+    prefetch_runs,
 )
 
 PREDICTORS = (
@@ -30,6 +31,25 @@ PREDICTORS = (
 def run(apps=None, seeds=None, scheduler="casras-crit") -> ExperimentResult:
     apps = apps or default_apps()
     seeds = seeds or default_seeds()
+    prefetch_runs(
+        [
+            {"kind": "parallel", "workload": app, "seed": seed}
+            for seed in seeds
+            for app in apps
+        ]
+        + [
+            {
+                "kind": "parallel",
+                "workload": app,
+                "scheduler": scheduler,
+                "provider_spec": spec,
+                "seed": seed,
+            }
+            for seed in seeds
+            for app in apps
+            for _, spec in PREDICTORS
+        ]
+    )
     columns = ["predictor"] + list(apps) + ["Average"]
     rows = []
     for label, spec in PREDICTORS:

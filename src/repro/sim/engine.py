@@ -1,0 +1,391 @@
+"""Parallel, disk-cached experiment engine.
+
+One simulation = one :class:`RunSpec`.  ``run_many`` deduplicates specs,
+satisfies what it can from the on-disk result cache, and fans the misses
+out over a pool of worker processes; ``run_one`` executes a single spec
+in-process.  Every run records wall-clock observability on its result
+(``SimResult.wall_seconds`` / ``cycles_per_second``) and in the module's
+``last_metrics`` list.
+
+Cache keys are content hashes: the canonical JSON of the spec (workload,
+scheduler and kwargs, provider spec, full machine config, scale, slot)
+plus a hash of the simulator's own source files, so editing the model
+invalidates every cached result automatically.  Since the fast-forwarding
+loop is bit-identical to the naive loop, the skip setting is deliberately
+*not* part of the key.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR``     — cache directory (default ``~/.cache/repro-sim``);
+* ``REPRO_NO_CACHE=1``    — bypass the disk cache entirely;
+* ``REPRO_JOBS``          — worker processes for ``run_many`` (default: CPUs);
+* ``REPRO_CODE_VERSION``  — override the code-version hash (tests);
+* ``REPRO_RUN_LOG``       — append one JSON line of metrics per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
+from repro.sim.stats import SimResult
+
+#: Per-run observability records (append-only): dicts with label, key,
+#: source ("run" | "disk"), wall_s, cycles, and cycles_per_sec.  Clear
+#: with :func:`clear_metrics` before a batch you want to inspect.
+last_metrics: list[dict] = []
+
+
+def clear_metrics() -> None:
+    last_metrics.clear()
+
+
+class UnportableSpec(ValueError):
+    """The spec contains live objects (callables) that cannot be hashed or
+    shipped to a worker process; it must run inline and uncached."""
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to reproduce one simulation run."""
+
+    kind: str  # "parallel" | "bundle" | "alone"
+    workload: str
+    scheduler: str = "fr-fcfs"
+    provider_spec: object = None
+    config: SystemConfig | None = None
+    scale: SimScale = field(default_factory=lambda: DEFAULT_SCALE)
+    scheduler_kwargs: dict | None = None
+    slot: int | None = None
+    label: str | None = None
+
+
+# --------------------------------------------------------------- cache keys
+
+
+def _canon(value):
+    """Canonical JSON-ready form of a spec component (deterministic)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {
+            str(k): _canon(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise UnportableSpec(f"cannot canonicalise {value!r} for hashing")
+
+
+_CODE_VERSION_CACHE: dict[str | None, str] = {}
+
+
+def code_version() -> str:
+    """Hash of the simulator's own source, part of every cache key."""
+    override = os.environ.get("REPRO_CODE_VERSION")
+    cached = _CODE_VERSION_CACHE.get(override)
+    if cached is not None:
+        return cached
+    if override:
+        version = override
+    else:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        version = digest.hexdigest()[:16]
+    _CODE_VERSION_CACHE[override] = version
+    return version
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Content hash identifying a spec's result.
+
+    Raises :class:`UnportableSpec` when the spec embeds live objects (a
+    callable provider spec, non-serialisable scheduler kwargs).
+    """
+    payload = json.dumps(
+        {
+            "kind": spec.kind,
+            "workload": spec.workload,
+            "scheduler": spec.scheduler,
+            "provider_spec": _canon(spec.provider_spec),
+            "config": _canon(spec.config),
+            "scale": _canon(spec.scale),
+            "scheduler_kwargs": _canon(spec.scheduler_kwargs or {}),
+            "slot": spec.slot,
+            "code": code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# --------------------------------------------------------------- disk cache
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path.home() / ".cache" / "repro-sim"
+
+
+def _cache_enabled(cache: bool | None) -> bool:
+    if cache is not None:
+        return cache
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+
+
+def cache_path(key: str) -> Path:
+    return cache_dir() / f"{key}.pkl"
+
+
+def load_cached(key: str) -> SimResult | None:
+    path = cache_path(key)
+    try:
+        with open(path, "rb") as fh:
+            result = pickle.load(fh)
+    except Exception:
+        return None  # missing or corrupt entry: treat as a miss
+    return result if isinstance(result, SimResult) else None
+
+
+def store_cached(key: str, result: SimResult) -> None:
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = _pickle_result(result)
+    tmp = directory / f".{key}.{os.getpid()}.tmp"
+    tmp.write_bytes(payload)
+    os.replace(tmp, cache_path(key))
+
+
+def clear_disk_cache() -> int:
+    """Delete every cached result; returns the number removed."""
+    removed = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for path in directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def _pickle_result(result: SimResult) -> bytes:
+    """Pickle a result, shedding unpicklable run-time attachments."""
+    for provider in result.providers:
+        # NaiveForwardingProvider holds the event queue's schedule hook.
+        if getattr(provider, "_defer", None) is not None:
+            provider._defer = None
+    try:
+        return pickle.dumps(result)
+    except Exception:
+        return pickle.dumps(dataclasses.replace(result, providers=[]))
+
+
+# ----------------------------------------------------------------- running
+
+
+def run_one(spec: RunSpec) -> SimResult:
+    """Execute one spec in-process (no caching)."""
+    from repro.sim.runner import (
+        run_application_alone,
+        run_multiprogrammed_workload,
+        run_parallel_workload,
+    )
+
+    if spec.kind == "parallel":
+        return run_parallel_workload(
+            spec.workload,
+            spec.scheduler,
+            spec.provider_spec,
+            spec.config,
+            spec.scale,
+            spec.scheduler_kwargs,
+            spec.label,
+        )
+    if spec.kind == "bundle":
+        return run_multiprogrammed_workload(
+            spec.workload,
+            spec.scheduler,
+            spec.provider_spec,
+            spec.config,
+            spec.scale,
+            spec.scheduler_kwargs,
+            spec.label,
+        )
+    if spec.kind == "alone":
+        if spec.slot is None:
+            raise ValueError("kind='alone' requires slot")
+        return run_application_alone(
+            spec.workload,
+            spec.slot,
+            spec.scheduler,
+            spec.config,
+            spec.scale,
+            spec.provider_spec,
+            spec.scheduler_kwargs,
+            spec.label,
+        )
+    raise ValueError(f"unknown run kind {spec.kind!r}")
+
+
+def run_one_cached(spec: RunSpec, cache: bool | None = None) -> SimResult:
+    """``run_one`` behind the disk cache (serial path)."""
+    try:
+        key = spec_key(spec)
+    except UnportableSpec:
+        return run_one(spec)
+    if _cache_enabled(cache):
+        hit = load_cached(key)
+        if hit is not None:
+            _record(spec, key, hit, source="disk")
+            return hit
+    result = run_one(spec)
+    _record(spec, key, result, source="run")
+    if _cache_enabled(cache):
+        store_cached(key, result)
+    return result
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def _pool_entry(item):
+    key, spec = item
+    result = run_one(spec)
+    return key, pickle.loads(_pickle_result(result))
+
+
+def run_many(
+    specs, jobs: int | None = None, cache: bool | None = None
+) -> list[SimResult]:
+    """Run every spec, in parallel, deduplicated, through the disk cache.
+
+    Returns results aligned with ``specs``.  Identical specs are simulated
+    once; cache hits cost no simulation at all.  Specs that cannot be
+    hashed/pickled (callable provider specs) run inline and uncached.
+    """
+    specs = list(specs)
+    use_cache = _cache_enabled(cache)
+    results: list[SimResult | None] = [None] * len(specs)
+    metrics: list[dict] = []
+    pending: dict[str, list[int]] = {}
+    inline: list[int] = []
+
+    for i, spec in enumerate(specs):
+        try:
+            key = spec_key(spec)
+        except UnportableSpec:
+            inline.append(i)
+            continue
+        if key in pending:
+            pending[key].append(i)
+            continue
+        if use_cache:
+            hit = load_cached(key)
+            if hit is not None:
+                results[i] = hit
+                metrics.append(_metric(spec, key, hit, "disk"))
+                continue
+        pending.setdefault(key, []).append(i)
+
+    todo = list(pending.items())
+    jobs = _resolve_jobs(jobs)
+    if len(todo) > 1 and jobs > 1:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(todo)), mp_context=context
+            ) as pool:
+                fresh = dict(
+                    pool.map(
+                        _pool_entry,
+                        [(key, specs[idxs[0]]) for key, idxs in todo],
+                    )
+                )
+        else:
+            fresh = {
+                key: run_one(specs[idxs[0]]) for key, idxs in todo
+            }
+    else:
+        fresh = {key: run_one(specs[idxs[0]]) for key, idxs in todo}
+
+    for key, indices in todo:
+        result = fresh[key]
+        metrics.append(_metric(specs[indices[0]], key, result, "run"))
+        if use_cache:
+            store_cached(key, result)
+        for i in indices:
+            results[i] = result
+    for i in inline:
+        result = run_one(specs[i])
+        metrics.append(_metric(specs[i], None, result, "run"))
+        results[i] = result
+
+    last_metrics.extend(metrics)
+    _write_run_log(metrics)
+    return results
+
+
+# ------------------------------------------------------------ observability
+
+
+def _metric(spec: RunSpec, key: str | None, result: SimResult, source: str):
+    return {
+        "label": result.label or spec.workload,
+        "key": key,
+        "source": source,
+        "wall_s": round(result.wall_seconds, 6),
+        "cycles": result.cycles,
+        "cycles_per_sec": round(result.cycles_per_second, 1),
+    }
+
+
+def _record(spec: RunSpec, key: str | None, result: SimResult, source: str):
+    metric = _metric(spec, key, result, source)
+    last_metrics.append(metric)
+    _write_run_log([metric])
+
+
+def _write_run_log(metrics) -> None:
+    path = os.environ.get("REPRO_RUN_LOG")
+    if not path or not metrics:
+        return
+    try:
+        with open(path, "a") as fh:
+            for metric in metrics:
+                fh.write(json.dumps(metric) + "\n")
+    except OSError:
+        pass

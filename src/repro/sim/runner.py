@@ -1,9 +1,19 @@
-"""Convenience runners used by examples, tests, and every experiment."""
+"""Convenience runners used by examples, tests, and every experiment.
+
+Environment knobs (also settable via ``python -m repro`` flags):
+
+* ``REPRO_NO_SKIP=1``     — force the cycle-by-cycle loop (no fast-forward);
+* ``REPRO_VERIFY_SKIP=1`` — run every simulation twice (skip on and off)
+  and assert the results are bit-identical.
+"""
 
 from __future__ import annotations
 
+import os
+import time
+
 from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
-from repro.sim.stats import SimResult, speedup
+from repro.sim.stats import SimResult, result_fingerprint, speedup
 from repro.sim.system import System
 from repro.workloads.multiprog import BUNDLES, bundle_traces
 from repro.workloads.parallel import parallel_traces
@@ -16,6 +26,31 @@ _CYCLE_BUDGET_PER_INSTRUCTION = 60
 def _max_cycles(scale: SimScale) -> int:
     total = scale.instructions_per_core + scale.warmup_instructions
     return max(200_000, total * _CYCLE_BUDGET_PER_INSTRUCTION)
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def _run_system(make_system, max_cycles: int) -> SimResult:
+    """Run a system built by ``make_system()``, honouring the env knobs.
+
+    Wall-clock time is recorded on the result; with ``REPRO_VERIFY_SKIP``
+    a second system is built and run with the opposite ``skip_cycles``
+    setting and the two results are cross-checked for bit-identity.
+    """
+    skip = not _env_flag("REPRO_NO_SKIP")
+    start = time.perf_counter()
+    result = make_system().run(max_cycles=max_cycles, skip_cycles=skip)
+    result.wall_seconds = time.perf_counter() - start
+    if _env_flag("REPRO_VERIFY_SKIP"):
+        other = make_system().run(max_cycles=max_cycles, skip_cycles=not skip)
+        if result_fingerprint(result) != result_fingerprint(other):
+            raise AssertionError(
+                f"skip-cycles fast-forward diverged from the cycle-by-cycle "
+                f"loop for {result.label!r}"
+            )
+    return result
 
 
 def run_parallel_workload(
@@ -31,15 +66,17 @@ def run_parallel_workload(
     config = config or SystemConfig.parallel_default()
     instructions = scale.instructions_per_core + scale.warmup_instructions
     traces = parallel_traces(app, config.cores, instructions, seed=scale.seed)
-    system = System(
-        config,
-        traces,
-        scheduler=scheduler,
-        scheduler_kwargs=scheduler_kwargs,
-        provider_spec=provider_spec,
-        label=label or f"{app}/{scheduler}",
+    return _run_system(
+        lambda: System(
+            config,
+            traces,
+            scheduler=scheduler,
+            scheduler_kwargs=scheduler_kwargs,
+            provider_spec=provider_spec,
+            label=label or f"{app}/{scheduler}",
+        ),
+        _max_cycles(scale),
     )
-    return system.run(max_cycles=_max_cycles(scale))
 
 
 def run_multiprogrammed_workload(
@@ -55,15 +92,17 @@ def run_multiprogrammed_workload(
     config = config or SystemConfig.multiprogrammed_default()
     instructions = scale.instructions_per_core + scale.warmup_instructions
     traces = bundle_traces(bundle, instructions, seed=scale.seed)
-    system = System(
-        config,
-        traces,
-        scheduler=scheduler,
-        scheduler_kwargs=scheduler_kwargs,
-        provider_spec=provider_spec,
-        label=label or f"{bundle}/{scheduler}",
+    return _run_system(
+        lambda: System(
+            config,
+            traces,
+            scheduler=scheduler,
+            scheduler_kwargs=scheduler_kwargs,
+            provider_spec=provider_spec,
+            label=label or f"{bundle}/{scheduler}",
+        ),
+        _max_cycles(scale),
     )
-    return system.run(max_cycles=_max_cycles(scale))
 
 
 def run_application_alone(
@@ -72,12 +111,17 @@ def run_application_alone(
     scheduler: str = "par-bs",
     config: SystemConfig | None = None,
     scale: SimScale = DEFAULT_SCALE,
+    provider_spec=None,
+    scheduler_kwargs: dict | None = None,
+    label: str | None = None,
 ) -> SimResult:
     """One bundle application running alone (weighted-speedup denominator).
 
     The other cores execute empty traces, so the application has the whole
     memory system to itself — the paper's "executing alone in the baseline
-    PAR-BS configuration".
+    PAR-BS configuration".  The provider and scheduler kwargs must match the
+    shared run being normalised, otherwise the alone baseline is simulated
+    on a different machine than the one under test.
     """
     from repro.cpu.instruction import Trace
 
@@ -87,10 +131,17 @@ def run_application_alone(
     solo = []
     for core in range(config.cores):
         solo.append(traces[core] if core == slot else Trace(name="idle"))
-    system = System(
-        config, solo, scheduler=scheduler, label=f"{bundle}[{slot}]/alone"
+    return _run_system(
+        lambda: System(
+            config,
+            solo,
+            scheduler=scheduler,
+            scheduler_kwargs=scheduler_kwargs,
+            provider_spec=provider_spec,
+            label=label or f"{bundle}[{slot}]/alone",
+        ),
+        _max_cycles(scale),
     )
-    return system.run(max_cycles=_max_cycles(scale))
 
 
 def parallel_average_speedup(
@@ -103,15 +154,41 @@ def parallel_average_speedup(
     scheduler_kwargs: dict | None = None,
     baseline_scheduler: str = "fr-fcfs",
 ) -> dict:
-    """Per-app and average speedups of a configuration over a baseline."""
-    per_app = {}
+    """Per-app and average speedups of a configuration over a baseline.
+
+    Runs fan out over the engine's worker pool and disk cache
+    (:mod:`repro.sim.engine`), so repeated sweeps only pay for what
+    changed.
+    """
+    from repro.sim.engine import RunSpec, run_many
+
+    apps = list(apps)
+    specs = []
     for app in apps:
-        base = run_parallel_workload(
-            app, baseline_scheduler, None, baseline_config or config, scale
+        specs.append(
+            RunSpec(
+                kind="parallel",
+                workload=app,
+                scheduler=baseline_scheduler,
+                config=baseline_config or config,
+                scale=scale,
+            )
         )
-        conf = run_parallel_workload(
-            app, scheduler, provider_spec, config, scale, scheduler_kwargs
+        specs.append(
+            RunSpec(
+                kind="parallel",
+                workload=app,
+                scheduler=scheduler,
+                provider_spec=provider_spec,
+                config=config,
+                scale=scale,
+                scheduler_kwargs=scheduler_kwargs,
+            )
         )
-        per_app[app] = speedup(base, conf)
+    results = run_many(specs)
+    per_app = {
+        app: speedup(results[2 * i], results[2 * i + 1])
+        for i, app in enumerate(apps)
+    }
     avg = sum(per_app.values()) / len(per_app) if per_app else 0.0
     return {"per_app": per_app, "average": avg}

@@ -23,6 +23,13 @@ class SimResult:
     channels: list = field(default_factory=list)
     providers: list = field(default_factory=list)
     hit_max_cycles: bool = False
+    #: Host wall-clock seconds the run took (0.0 when not measured).
+    wall_seconds: float = 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per host second (observability, not physics)."""
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
 
     # -- throughput ------------------------------------------------------------
 
@@ -48,10 +55,61 @@ class SimResult:
         return blocking / loads if loads else 0.0
 
     def blocked_cycle_fraction(self) -> float:
-        """Fraction of core cycles spent with a DRAM load blocking commit."""
-        cycles = sum(max(1, f) for f in self.finish_cycles)
-        blocked = sum(s.blocked_dram_cycles for s in self.core_stats)
+        """Fraction of core cycles spent with a DRAM load blocking commit.
+
+        Cores that committed nothing (idle traces, e.g. the empty cores of
+        an execute-alone run) are excluded: they contribute neither blocked
+        nor busy cycles, so counting them would dilute the fraction.
+        """
+        if not self.core_stats:
+            return 0.0
+        cycles = blocked = 0
+        for core, finish in enumerate(self.finish_cycles):
+            if self.committed[core] <= 0:
+                continue
+            cycles += finish
+            blocked += self.core_stats[core].blocked_dram_cycles
         return blocked / cycles if cycles else 0.0
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _stat_items(obj):
+    if obj is None:
+        return ()
+    slots = getattr(type(obj), "__slots__", None)
+    items = (
+        ((k, getattr(obj, k)) for k in slots)
+        if slots
+        else obj.__dict__.items()
+    )
+    return tuple(
+        sorted((k, _freeze(v)) for k, v in items if not callable(v))
+    )
+
+
+def result_fingerprint(result: SimResult):
+    """Hashable digest of everything a run measured.
+
+    Two runs of the same workload produce equal fingerprints iff their
+    results are bit-identical — the contract the fast-forwarding loop is
+    held to (``REPRO_VERIFY_SKIP``) and the determinism tests check.
+    """
+    return (
+        result.cycles,
+        tuple(result.finish_cycles),
+        tuple(result.committed),
+        result.hit_max_cycles,
+        tuple(_stat_items(s) for s in result.core_stats),
+        tuple(_stat_items(c) for c in result.channels),
+        _stat_items(result.hierarchy),
+    )
 
 
 def speedup(baseline: SimResult, result: SimResult) -> float:

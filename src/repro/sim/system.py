@@ -11,6 +11,9 @@ from repro.sched.registry import make_scheduler_factory
 from repro.sim.events import EventQueue
 from repro.sim.stats import SimResult
 
+# Sentinel "wake cycle" for cores quiescent until externally woken.
+_FOREVER = 1 << 62
+
 
 def make_provider_factory(spec):
     """Build a per-core criticality-provider factory from a spec.
@@ -68,6 +71,9 @@ class System:
         self.hierarchy = MemoryHierarchy(config, self.memory, self.events)
         self._now = 0
         self.hierarchy.bind_clock(lambda: self._now)
+        self.hierarchy.bind_core_waker(
+            lambda core_id: self.cores[core_id].wake_skip()
+        )
         provider_factory = make_provider_factory(provider_spec)
         self.providers: list[CriticalityProvider] = [
             provider_factory(i) for i in range(config.cores)
@@ -84,8 +90,18 @@ class System:
             if ranges:
                 self.hierarchy.prewarm(core_id, ranges)
 
-    def run(self, max_cycles: int | None = None) -> SimResult:
-        """Run every core's trace to completion; returns the results."""
+    def run(
+        self, max_cycles: int | None = None, skip_cycles: bool = True
+    ) -> SimResult:
+        """Run every core's trace to completion; returns the results.
+
+        With ``skip_cycles`` (the default) the loop fast-forwards over dead
+        cycles — stretches where every core is quiescent, no event is due,
+        and no DRAM clock edge has work — applying the exact per-cycle stat
+        increments the naive loop would have made, so results are
+        bit-identical either way.  ``skip_cycles=False`` forces the plain
+        cycle-by-cycle loop (the reference for the cross-check mode).
+        """
         cores = self.cores
         events = self.events
         memory = self.memory
@@ -93,23 +109,58 @@ class System:
         remaining = len(cores)
         now = self._now
         hit_cap = False
+        forever = _FOREVER
         while remaining:
             if max_cycles is not None and now >= max_cycles:
                 hit_cap = True
                 break
             events.run_due(now)
             memory.step(now)
+            all_quiet = skip_cycles
             for core in cores:
                 if core.done:
                     continue
+                if core.skip_until > now:
+                    continue  # quiescent; stats settled by flush_skip later
+                if core._quiet_deltas is not None:
+                    core.flush_skip(now)
                 core.step(now)
                 if core.done:
                     finish[core.core_id] = now + 1
                     remaining -= 1
-            self._now = now = now + 1
+                elif skip_cycles:
+                    if core.plan_defer:
+                        core.plan_defer -= 1
+                        all_quiet = False
+                    else:
+                        plan = core.skip_plan(now)
+                        if plan is None:
+                            core.plan_defer = 3
+                            all_quiet = False
+                        else:
+                            core.begin_skip(plan, now, forever)
+            nxt = now + 1
+            if all_quiet and remaining:
+                # Every live core is quiescent: jump straight to the next
+                # cycle at which anything can happen.
+                target = memory.next_wake_cpu(now)
+                event_cycle = events.next_cycle()
+                if event_cycle is not None and event_cycle < target:
+                    target = event_cycle
+                for core in cores:
+                    if not core.done and core.skip_until < target:
+                        target = core.skip_until
+                if max_cycles is not None and target > max_cycles:
+                    target = max_cycles
+                if target > nxt:
+                    memory.fast_forward(nxt, target)
+                    nxt = target
+            self._now = now = nxt
         for core in cores:
-            if not core.done and finish[core.core_id] == 0:
-                finish[core.core_id] = now
+            if not core.done:
+                core.flush_skip(now)
+                if finish[core.core_id] == 0:
+                    finish[core.core_id] = now
 
         result = SimResult(
             label=self.label,

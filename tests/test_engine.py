@@ -1,0 +1,178 @@
+"""Engine: content-hashed cache keys, disk cache, parallel fan-out."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.config import SimScale
+from repro.sim import engine
+from repro.sim.engine import (
+    RunSpec,
+    UnportableSpec,
+    run_many,
+    run_one_cached,
+    spec_key,
+)
+from repro.sim.stats import result_fingerprint
+
+SCALE = SimScale(instructions_per_core=600, warmup_instructions=0, seed=5)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _spec(**over):
+    base = dict(kind="parallel", workload="fft", scale=SCALE)
+    base.update(over)
+    return RunSpec(**base)
+
+
+class TestSpecKey:
+    def test_stable(self):
+        assert spec_key(_spec()) == spec_key(_spec())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "radix"},
+            {"scheduler": "par-bs"},
+            {"provider_spec": ("cbp", {"entries": 64})},
+            {"scheduler_kwargs": {"batch_cap": 3}},
+            {"scale": SimScale(instructions_per_core=601,
+                               warmup_instructions=0, seed=5)},
+            {"scale": SimScale(instructions_per_core=600,
+                               warmup_instructions=0, seed=6)},
+            {"kind": "bundle"},
+            {"slot": 1},
+        ],
+        ids=lambda c: next(iter(c)),
+    )
+    def test_any_field_invalidates(self, change):
+        assert spec_key(_spec(**change)) != spec_key(_spec())
+
+    def test_kwarg_order_is_canonical(self):
+        a = _spec(provider_spec=("cbp", {"entries": 64, "reset_interval": 9}))
+        b = _spec(provider_spec=("cbp", {"reset_interval": 9, "entries": 64}))
+        assert spec_key(a) == spec_key(b)
+
+    def test_enum_kwargs_hash(self):
+        from repro.core.cbp import CbpMetric
+
+        spec = _spec(
+            provider_spec=("cbp", {"entries": 64, "metric": CbpMetric.BINARY})
+        )
+        assert spec_key(spec) != spec_key(
+            _spec(provider_spec=("cbp", {"entries": 64,
+                                         "metric": CbpMetric.MAX_STALL}))
+        )
+
+    def test_code_version_invalidates(self, monkeypatch):
+        before = spec_key(_spec())
+        monkeypatch.setenv("REPRO_CODE_VERSION", "deadbeef")
+        assert spec_key(_spec()) != before
+
+    def test_callable_provider_is_unportable(self):
+        with pytest.raises(UnportableSpec):
+            spec_key(_spec(provider_spec=lambda core: None))
+
+
+class TestDiskCache:
+    def test_round_trip(self, cache_dir):
+        first = run_one_cached(_spec())
+        assert list(cache_dir.glob("*.pkl"))
+        engine.clear_metrics()
+        second = run_one_cached(_spec())
+        assert engine.last_metrics[-1]["source"] == "disk"
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_no_cache_env(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        run_one_cached(_spec())
+        assert not list(cache_dir.glob("*.pkl"))
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        run_one_cached(_spec())
+        (path,) = cache_dir.glob("*.pkl")
+        path.write_bytes(b"not a pickle")
+        engine.clear_metrics()
+        result = run_one_cached(_spec())
+        assert engine.last_metrics[-1]["source"] == "run"
+        assert result.cycles > 0
+
+    def test_cached_results_unpickle_cleanly(self, cache_dir):
+        run_one_cached(_spec(provider_spec=("naive", {})))
+        (path,) = cache_dir.glob("*.pkl")
+        restored = pickle.loads(path.read_bytes())
+        assert restored.cycles > 0
+
+    def test_clear_disk_cache(self, cache_dir):
+        run_one_cached(_spec())
+        assert engine.clear_disk_cache() == 1
+        assert not list(cache_dir.glob("*.pkl"))
+
+
+class TestRunMany:
+    def test_results_align_and_dedup(self, cache_dir):
+        specs = [_spec(), _spec(workload="radix"), _spec()]
+        engine.clear_metrics()
+        results = run_many(specs, jobs=2)
+        assert [r.label for r in results] == [
+            "fft/fr-fcfs", "radix/fr-fcfs", "fft/fr-fcfs"
+        ]
+        simulated = [m for m in engine.last_metrics if m["source"] == "run"]
+        assert len(simulated) == 2  # the duplicate cost nothing
+
+    def test_serial_path_matches_pool(self, cache_dir, monkeypatch):
+        specs = [_spec(), _spec(workload="radix")]
+        pooled = run_many(specs, jobs=2, cache=False)
+        serial = run_many(specs, jobs=1, cache=False)
+        for a, b in zip(pooled, serial):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_warm_pass_hits_disk(self, cache_dir):
+        specs = [_spec(), _spec(workload="radix")]
+        run_many(specs, jobs=2)
+        engine.clear_metrics()
+        run_many(specs, jobs=2)
+        assert all(m["source"] == "disk" for m in engine.last_metrics)
+
+    def test_unportable_spec_runs_inline(self, cache_dir):
+        from repro.core.provider import NullProvider
+
+        specs = [_spec(provider_spec=lambda core: NullProvider())]
+        results = run_many(specs, jobs=2)
+        assert results[0].cycles > 0
+        assert not list(cache_dir.glob("*.pkl"))
+
+    def test_run_log(self, cache_dir, tmp_path, monkeypatch):
+        import json
+
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_RUN_LOG", str(log))
+        run_many([_spec()], jobs=1, cache=False)
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert lines and lines[0]["source"] == "run"
+        assert lines[0]["wall_s"] > 0
+
+
+class TestCachedRunIntegration:
+    def test_cached_run_uses_disk_across_memo_clears(self, cache_dir,
+                                                     monkeypatch):
+        from repro.experiments import common
+
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "600")
+        common.clear_run_cache()
+        first = common.cached_run("parallel", "fft")
+        assert len(common._RUN_CACHE) == 1
+        common.clear_run_cache()
+        engine.clear_metrics()
+        second = common.cached_run("parallel", "fft")
+        assert engine.last_metrics[-1]["source"] == "disk"
+        assert result_fingerprint(first) == result_fingerprint(second)
+        common.clear_run_cache()
