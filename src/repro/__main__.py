@@ -4,6 +4,8 @@
     python -m repro run fft --scheduler casras-crit --cbp 64
     python -m repro experiment fig4 [--markdown] [--csv]
     python -m repro experiment all             # regenerate everything
+    python -m repro lint [paths...]            # simulator-specific AST lint
+    python -m repro check-determinism fft      # cross-mode/-process chains
 
 ``run`` and ``experiment`` accept engine flags: ``--jobs N`` (worker
 processes), ``--no-cache`` (bypass the on-disk result cache),
@@ -100,6 +102,52 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.select:
+        argv += ["--select", args.select]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return lint_main(argv)
+
+
+def _cmd_check_determinism(args) -> int:
+    from repro.config import SimScale
+    from repro.sim.engine import RunSpec, verify_determinism
+
+    scale = SimScale(
+        instructions_per_core=args.instructions,
+        warmup_instructions=max(200, args.instructions // 10),
+        seed=args.seed,
+    )
+    spec = RunSpec(
+        kind="parallel", workload=args.app, scheduler=args.scheduler, scale=scale
+    )
+    report = verify_determinism(spec, subprocess=not args.no_subprocess)
+    chain = report["chain"]
+    chain_text = f"{chain:#018x}" if chain is not None else "disabled"
+    print(f"{report['label']}: {report['cycles']:,} cycles, chain {chain_text}")
+    for entry in report["runs"]:
+        verdict = "ok" if entry["ok"] else "DIVERGED"
+        line = f"  vs {entry['name']:<20}: {verdict}"
+        if not entry["ok"]:
+            where = entry.get("first_divergence")
+            if where:
+                line += f" (first divergence at cycle {where['cycle']})"
+            else:
+                line += " (chains agree; divergence is in statistics)"
+        print(line)
+    if not report["ok"]:
+        print("determinism check FAILED")
+        return 1
+    print("determinism check passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +172,27 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--csv", action="store_true")
     _add_engine_flags(exp_p)
 
+    lint_p = sub.add_parser(
+        "lint", help="run the simulator-specific AST lint pass"
+    )
+    lint_p.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    lint_p.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run")
+    lint_p.add_argument("--list-rules", action="store_true")
+    lint_p.add_argument("--show-suppressed", action="store_true")
+
+    det_p = sub.add_parser(
+        "check-determinism",
+        help="compare determinism hash-chains across loop modes and processes",
+    )
+    det_p.add_argument("app", help="parallel workload to check")
+    det_p.add_argument("--scheduler", default="fr-fcfs")
+    det_p.add_argument("--instructions", type=int, default=4_000)
+    det_p.add_argument("--seed", type=int, default=1)
+    det_p.add_argument("--no-subprocess", action="store_true",
+                       help="skip the fresh-subprocess comparison")
+
     return parser
 
 
@@ -134,6 +203,8 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
+        "check-determinism": _cmd_check_determinism,
     }
     return handlers[args.command](args)
 

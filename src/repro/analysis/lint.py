@@ -1,0 +1,709 @@
+"""Custom AST lint pass for simulator-specific hazards.
+
+Generic linters cannot know that ``random.random()`` inside a scheduler
+silently poisons every cached experiment, or that a float creeping into a
+cycle counter breaks bit-identical fast-forwarding.  This pass encodes
+the project's correctness contracts as machine-checked rules over the
+Python AST of ``src/repro``:
+
+=========  ================================================================
+DET001     module-global ``random`` (or ``numpy.random``) use — unseeded
+           and process-global, so results depend on import order
+DET002     wall-clock reads (``time.time`` et al.) — host time must never
+           reach simulated state
+DET003     iteration over a ``set`` — Python set order varies across
+           processes (PYTHONHASHSEED), so iteration order is nondeterministic
+FLT001     float arithmetic assigned to a cycle-counter-like name —
+           cycles are exact integers; floats drift and break bit-identity
+CFG001     mutation of a frozen config object (``DramConfig`` /
+           ``CoreConfig`` / ``timings``) after construction
+SCH001     a ``*Scheduler`` class that does not inherit from the
+           ``sched.base`` interface
+EXC001     bare ``except:`` — swallows ``KeyboardInterrupt`` and hides bugs
+EXC002     silent exception handler (body is only ``pass``/``...``) —
+           drops errors without a trace
+=========  ================================================================
+
+Suppression: append ``# repro-lint: disable=RULE[,RULE...]`` (or
+``disable=all``) to the offending line, or put it on its own line
+directly above; anything after the rule list is treated as rationale.
+Suppressions are counted and reported so they stay auditable.
+
+CLI: ``python -m repro lint [paths...]`` or ``tools/lint.py``; exits
+nonzero when any unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------- findings
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+# ----------------------------------------------------------- suppressions
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+|all)")
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line (by a trailing
+    comment or a standalone comment on the line directly above)."""
+    disabled: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+        disabled.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):  # standalone: covers the next line
+            disabled.setdefault(lineno + 1, set()).update(rules)
+    return disabled
+
+
+def _is_suppressed(finding: Finding, disabled: dict[int, set[str]]) -> bool:
+    rules = disabled.get(finding.line)
+    return bool(rules) and ("ALL" in rules or finding.rule in rules)
+
+
+# ------------------------------------------------------------- rule base
+
+
+class Rule:
+    """One lint rule: an id, a one-line hazard description, and a check."""
+
+    id: str = ""
+    title: str = ""
+
+    def check_module(self, tree: ast.Module, path: str) -> list[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names the given top-level module is importable under in this file."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module or item.name.startswith(module + "."):
+                    aliases.add((item.asname or item.name).split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str, names: set[str]) -> dict[str, ast.AST]:
+    """``from module import name`` bindings of interest: local name -> node."""
+    bound: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for item in node.names:
+                if item.name in names:
+                    bound[item.asname or item.name] = node
+    return bound
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+# ---------------------------------------------------------------- rules
+
+
+class UnseededRandomRule(Rule):
+    """DET001: module-global ``random`` use.
+
+    The ``random`` module's global generator is seeded from the OS, so any
+    call on it makes simulation results depend on process history.  All
+    randomness must flow through a ``random.Random(seed)`` (or seeded
+    numpy ``Generator``) threaded through constructors.
+    """
+
+    id = "DET001"
+    title = "module-global random use (unseeded nondeterminism)"
+
+    _GLOBAL_FNS = {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+        "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+    }
+
+    def check_module(self, tree, path):
+        findings = []
+        aliases = _module_aliases(tree, "random")
+        numpy_aliases = _module_aliases(tree, "numpy")
+        for name, node in _from_imports(tree, "random", self._GLOBAL_FNS).items():
+            findings.append(self._finding(
+                path, node,
+                f"importing {name!r} from random binds the process-global "
+                f"generator; construct a seeded random.Random instead",
+            ))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) == 2 and chain[0] in aliases and chain[1] in self._GLOBAL_FNS:
+                findings.append(self._finding(
+                    path, node,
+                    f"call to module-global random.{chain[1]}(); thread a "
+                    f"seeded random.Random through the constructor instead",
+                ))
+            elif (
+                len(chain) == 3
+                and chain[0] in numpy_aliases
+                and chain[1] == "random"
+                and chain[2] != "default_rng"
+            ):
+                findings.append(self._finding(
+                    path, node,
+                    f"call to numpy's global {'.'.join(chain)}(); use a "
+                    f"seeded numpy.random.default_rng(seed) Generator",
+                ))
+        return findings
+
+
+class WallClockRule(Rule):
+    """DET002: host wall-clock reads in simulator code.
+
+    Host time must never influence simulated state or recorded results
+    beyond explicitly-labelled observability fields.  Legitimate
+    wall-clock measurement (e.g. ``SimResult.wall_seconds``) carries a
+    ``# repro-lint: disable=DET002`` suppression with rationale.
+    """
+
+    id = "DET002"
+    title = "wall-clock read in simulation code"
+
+    _TIME_FNS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+                 "monotonic", "monotonic_ns", "process_time"}
+    _DATETIME_FNS = {"now", "utcnow", "today"}
+
+    def check_module(self, tree, path):
+        findings = []
+        time_aliases = _module_aliases(tree, "time")
+        dt_aliases = _module_aliases(tree, "datetime")
+        for name, node in _from_imports(tree, "time", self._TIME_FNS).items():
+            findings.append(self._finding(
+                path, node, f"importing wall-clock {name!r} from time"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) == 2 and chain[0] in time_aliases and chain[1] in self._TIME_FNS:
+                findings.append(self._finding(
+                    path, node,
+                    f"wall-clock call time.{chain[1]}(); simulated time must "
+                    f"come from the cycle counter",
+                ))
+            elif (
+                len(chain) >= 2
+                and chain[0] in dt_aliases
+                and chain[-1] in self._DATETIME_FNS
+            ):
+                findings.append(self._finding(
+                    path, node, f"wall-clock call {'.'.join(chain)}()"))
+        return findings
+
+
+class SetIterationRule(Rule):
+    """DET003: iterating a ``set``.
+
+    Set iteration order depends on insertion history and element hashes
+    (strings vary with PYTHONHASHSEED), so any simulation decision made
+    while iterating a set can differ across processes.  Iterate
+    ``sorted(the_set)`` or keep an ordered structure instead.
+    """
+
+    id = "DET003"
+    title = "iteration over a set (order is not deterministic)"
+
+    @staticmethod
+    def _is_set_expr(node, local_sets: set[str]) -> str | None:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain in (["set"], ["frozenset"]):
+                return f"{chain[0]}(...)"
+            if (
+                len(chain) >= 2
+                and chain[-1] in {"union", "intersection", "difference",
+                                  "symmetric_difference"}
+                and chain[0] in local_sets
+            ):
+                return f"set method .{chain[-1]}()"
+        if isinstance(node, ast.Name) and node.id in local_sets:
+            return f"the set {node.id!r}"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            for side in (node.left, node.right):
+                if isinstance(side, ast.Name) and side.id in local_sets:
+                    return "a set expression"
+        return None
+
+    def _check_scope(self, scope, path, findings):
+        # Names bound to set expressions anywhere in this scope body
+        # (excluding nested functions, which get their own pass).
+        local_sets: set[str] = set()
+        nested = []
+        for node in ast.walk(scope):
+            if node is not scope and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                nested.append(node)
+        in_nested = set()
+        for fn in nested:
+            for node in ast.walk(fn):
+                in_nested.add(id(node))
+        for node in ast.walk(scope):
+            if id(node) in in_nested:
+                continue
+            if isinstance(node, ast.Assign) and self._is_set_expr(node.value, set()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_sets.add(target.id)
+        for node in ast.walk(scope):
+            if id(node) in in_nested:
+                continue
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                what = self._is_set_expr(it, local_sets)
+                if what:
+                    findings.append(self._finding(
+                        path, it,
+                        f"iterating {what}: set order varies across "
+                        f"processes; iterate sorted(...) instead",
+                    ))
+
+    def check_module(self, tree, path):
+        findings: list[Finding] = []
+        scopes = [tree] + [
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            self._check_scope(scope, path, findings)
+        # Module+function nesting means a `for` inside a function is seen
+        # twice (once per scope); deduplicate by location.
+        seen = set()
+        unique = []
+        for f in findings:
+            key = (f.line, f.col)
+            if key not in seen:
+                seen.add(key)
+                unique.append(f)
+        return unique
+
+
+class FloatCycleRule(Rule):
+    """FLT001: float arithmetic stored into a cycle-counter-like name.
+
+    Cycle counters and readiness deadlines are exact integers; float
+    results (true division, float literals, ``float()``) drift under
+    reordering and break the bit-identical fast-forwarding contract.
+    Use ``//`` or wrap the expression in ``int()``/``round()``.
+    """
+
+    id = "FLT001"
+    title = "float arithmetic on a cycle counter"
+
+    _TOKENS = {"now", "cycle", "cycles", "ready", "arrival",
+               "deadline", "wake", "until"}
+    _SAFE_WRAPPERS = {"int", "round", "floor", "ceil", "len", "min", "max"}
+
+    @classmethod
+    def _cycle_name(cls, target) -> str | None:
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        else:
+            return None
+        if cls._TOKENS & set(name.lower().split("_")):
+            return name
+        return None
+
+    def _float_subexpr(self, node) -> ast.AST | None:
+        """A float-producing subexpression not neutralised by int()/round()."""
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain and chain[-1] in ("int", "round", "floor", "ceil"):
+                return None  # explicitly truncated back to int
+            if chain == ["float"]:
+                return node
+            for arg in node.args:
+                found = self._float_subexpr(arg)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return node
+            return self._float_subexpr(node.left) or self._float_subexpr(node.right)
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node
+        if isinstance(node, (ast.IfExp,)):
+            return (self._float_subexpr(node.body)
+                    or self._float_subexpr(node.orelse))
+        if isinstance(node, ast.UnaryOp):
+            return self._float_subexpr(node.operand)
+        return None
+
+    def check_module(self, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AugAssign):
+                name = self._cycle_name(node.target)
+                if name is None:
+                    continue
+                if isinstance(node.op, ast.Div):
+                    findings.append(self._finding(
+                        path, node,
+                        f"true division assigned to cycle counter {name!r}; "
+                        f"use //= to keep cycles integral",
+                    ))
+                    continue
+                bad = self._float_subexpr(node.value)
+                if bad is not None:
+                    findings.append(self._finding(
+                        path, node,
+                        f"float arithmetic folded into cycle counter {name!r}",
+                    ))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = self._cycle_name(target)
+                    if name is None:
+                        continue
+                    bad = self._float_subexpr(node.value)
+                    if bad is not None:
+                        findings.append(self._finding(
+                            path, node,
+                            f"float-valued expression assigned to cycle "
+                            f"counter {name!r}; wrap in int()/round() or use //",
+                        ))
+                        break
+        return findings
+
+
+class ConfigMutationRule(Rule):
+    """CFG001: mutating a frozen config after construction.
+
+    ``DramConfig``/``CoreConfig``/``DramTimings`` are frozen dataclasses:
+    every run's cache key hashes them, so in-place mutation (including
+    ``object.__setattr__`` back doors) would silently desynchronise
+    results from their cache keys.  Use ``.scaled(...)`` /
+    ``dataclasses.replace`` to derive a new config instead.
+    """
+
+    id = "CFG001"
+    title = "mutation of a frozen config object"
+
+    _CONFIG_NAMES = {"config", "cfg", "timings", "dram_config", "core_config",
+                     "sysconfig", "system_config"}
+
+    @classmethod
+    def _is_config_expr(cls, node) -> bool:
+        chain = _attr_chain(node)
+        return bool(chain) and chain[-1].lower() in cls._CONFIG_NAMES
+
+    def check_module(self, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and self._is_config_expr(
+                        target.value
+                    ):
+                        chain = _attr_chain(target)
+                        findings.append(self._finding(
+                            path, node,
+                            f"assignment to {'.'.join(chain)} mutates a frozen "
+                            f"config; derive a copy with .scaled()/replace()",
+                        ))
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain[-1:] == ["__setattr__"] and node.args:
+                    first = node.args[0]
+                    if self._is_config_expr(first):
+                        findings.append(self._finding(
+                            path, node,
+                            "object.__setattr__ on a config object bypasses "
+                            "dataclass freezing",
+                        ))
+        return findings
+
+
+class SchedulerInterfaceRule(Rule):
+    """SCH001: a scheduler class outside the ``sched.base`` interface.
+
+    The controller calls ``select`` / ``on_enqueue`` / ``on_command`` and
+    relies on the base class's precharge-admissibility policy; a
+    ``*Scheduler`` class that does not inherit from the shared base
+    silently opts out of those contracts.
+    """
+
+    id = "SCH001"
+    title = "scheduler class bypasses the sched.base interface"
+
+    def check_module(self, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Scheduler"):
+                continue
+            if node.name.lstrip("_") == "Scheduler" and not node.bases:
+                continue  # the base interface itself
+            ok = False
+            for base in node.bases:
+                chain = _attr_chain(base)
+                if chain and "Scheduler" in chain[-1]:
+                    ok = True
+            if not ok:
+                findings.append(self._finding(
+                    path, node,
+                    f"class {node.name} defines a scheduler but does not "
+                    f"inherit from repro.sched.base.Scheduler",
+                ))
+        return findings
+
+
+class BareExceptRule(Rule):
+    """EXC001: bare ``except:``.
+
+    Catches ``KeyboardInterrupt``/``SystemExit`` and every programming
+    error alike; name the exception types the handler can actually deal
+    with.
+    """
+
+    id = "EXC001"
+    title = "bare except"
+
+    def check_module(self, tree, path):
+        return [
+            self._finding(path, node, "bare except: name the exception types")
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+class SilentHandlerRule(Rule):
+    """EXC002: exception handler that silently drops the error.
+
+    A handler whose whole body is ``pass``/``...`` erases the failure
+    with no trace — in a simulator this converts crashes into silently
+    wrong (and then cached) numbers.  Log, count, re-raise, or annotate
+    the line with a suppression stating why dropping is correct.
+    """
+
+    id = "EXC002"
+    title = "silent exception handler"
+
+    def check_module(self, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            body = [
+                stmt for stmt in node.body
+                if not (isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str))
+            ]
+            if all(
+                isinstance(stmt, ast.Pass)
+                or (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is Ellipsis)
+                for stmt in body
+            ):
+                findings.append(self._finding(
+                    path, node,
+                    "exception silently dropped; handle it, count it, or "
+                    "suppress with a rationale",
+                ))
+        return findings
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    FloatCycleRule(),
+    ConfigMutationRule(),
+    SchedulerInterfaceRule(),
+    BareExceptRule(),
+    SilentHandlerRule(),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
+
+
+# --------------------------------------------------------------- running
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: set[str] | None = None
+) -> LintReport:
+    """Lint one source string; suppressed findings are reported separately."""
+    report = LintReport(files=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.errors.append(f"{path}: syntax error: {exc}")
+        return report
+    disabled = _suppressions(source)
+    rules = [RULES_BY_ID[r] for r in sorted(select)] if select else ALL_RULES
+    for rule in rules:
+        for finding in rule.check_module(tree, path):
+            if _is_suppressed(finding, disabled):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def iter_python_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def lint_paths(paths, select: set[str] | None = None) -> LintReport:
+    """Lint every ``*.py`` under the given files/directories."""
+    total = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            total.errors.append(f"{path}: {exc}")
+            continue
+        report = lint_source(source, str(path), select=select)
+        total.findings.extend(report.findings)
+        total.suppressed.extend(report.suppressed)
+        total.errors.extend(report.errors)
+        total.files += 1
+    return total
+
+
+def _default_target() -> list[str]:
+    """``src/repro`` relative to this file (works installed or in-tree)."""
+    return [str(Path(__file__).resolve().parent.parent)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulator-specific AST lint pass (see repro.analysis.lint)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id and its hazard description")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print findings silenced by suppressions")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            doc = (rule.__class__.__doc__ or "").strip().splitlines()
+            print(f"{rule.id}  {rule.title}")
+            for line in doc[1:]:
+                print(f"        {line.strip()}")
+            print()
+        return 0
+
+    select = None
+    if args.select:
+        select = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = select - set(RULES_BY_ID)
+        if unknown:
+            print(f"unknown rule ids: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths or _default_target(), select=select)
+    for finding in report.findings:
+        print(finding.render())
+    if args.show_suppressed:
+        for finding in report.suppressed:
+            print(f"[suppressed] {finding.render()}")
+    for error in report.errors:
+        print(error, file=sys.stderr)
+    status = (
+        f"{report.files} files, {len(report.findings)} findings, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    print(status)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,12 +64,20 @@ class ProbabilisticCounter:
 
     name = "probabilistic"
 
-    def __init__(self, pivot: int = 1024, width: int = 14, seed: int = 1):
+    def __init__(
+        self,
+        pivot: int = 1024,
+        width: int = 14,
+        seed: int = 1,
+        rng: random.Random | None = None,
+    ):
         if pivot < 1:
             raise ValueError(f"pivot must be >= 1, got {pivot}")
         self.pivot = pivot
         self.maximum = (1 << width) - 1
-        self._rng = random.Random(seed)
+        # Determinism contract: the pseudo-random bit source is an injectable,
+        # seeded stream — never the random module's global state.
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def _shift_for(self, value: int) -> int:
         """How coarse updates are at this magnitude (0 = exact)."""

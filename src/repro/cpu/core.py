@@ -498,6 +498,25 @@ class OutOfOrderCore:
 
     # -------------------------------------------------------------- inspection
 
+    def det_state(self) -> tuple[int, ...]:
+        """Architectural state words for the determinism hash-chain.
+
+        Every field is constant while the core is quiescent (they only
+        change inside :meth:`step` or in completion events, both of which
+        end a fast-forward window), so skip and naive runs sample
+        identical values.  Statistics counters are excluded — they are
+        settled lazily by :meth:`flush_skip`.
+        """
+        return (
+            1 if self.done else 0,
+            self.stats.committed,
+            self._ptr,
+            self._rob_head,
+            len(self._rob),
+            self._lq_used,
+            self._sq_used,
+        )
+
     def rob_occupancy(self) -> int:
         return self._rob_occupancy()
 

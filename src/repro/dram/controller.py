@@ -20,6 +20,7 @@ paper's subject) clean.
 
 from __future__ import annotations
 
+from repro.analysis.protocol import maybe_attach
 from repro.config import DramConfig
 from repro.dram.addressmap import AddressMap
 from repro.dram.bank import Bank
@@ -104,6 +105,10 @@ class ChannelController:
         self._refresh_due = [False] * config.ranks_per_channel
         self.stats = ChannelStats()
         self._seq = 0
+        # Shadow protocol oracle (attached only under REPRO_SANITIZE=1):
+        # observes every command this controller issues and re-checks the
+        # JEDEC constraints from its own bookkeeping.
+        self.sanitizer = maybe_attach(self)
 
     # -- queue interface ----------------------------------------------------
 
@@ -177,6 +182,32 @@ class ChannelController:
         """Record ``cycles`` empty-queue DRAM cycles skipped by fast-forward."""
         self.stats.queue_samples += cycles
 
+    def det_state(self) -> list[int]:
+        """Architectural state words for the determinism hash-chain.
+
+        Everything here is constant while the channel is idle (queues and
+        bank state only change when commands execute), so fast-forwarded
+        and cycle-by-cycle runs sample identical values — statistics
+        counters are deliberately excluded.
+        """
+        values = [len(self.read_queue), len(self.write_queue), self._seq,
+                  1 if self._draining else 0]
+        for txn in self.read_queue:
+            values += (txn.seq, txn.address, 1 if txn.critical else 0)
+        for txn in self.write_queue:
+            values += (txn.seq, txn.address)
+        for rank_banks in self.banks:
+            for bank in rank_banks:
+                values.append(-1 if bank.open_row is None else bank.open_row)
+                values.append(bank.opened_by)
+        timing = self.timing
+        values += (
+            timing.next_cas_allowed, timing.data_bus_free, timing.last_data_rank
+        )
+        values += self._next_refresh
+        values.append(sum(1 << i for i, due in enumerate(self._refresh_due) if due))
+        return values
+
     # -- refresh ------------------------------------------------------------
 
     def _service_refresh(self, now: int) -> bool:
@@ -197,6 +228,8 @@ class ChannelController:
                     if now >= bank.pre_ready:
                         bank.do_precharge(now)
                         self.stats.precharges += 1
+                        if self.sanitizer is not None:
+                            self.sanitizer.on_precharge(rank, bank.index, now)
                         return True
             if not all_closed:
                 continue
@@ -207,6 +240,8 @@ class ChannelController:
                 self._next_refresh[rank] += t.refresh_interval_cycles
                 self._refresh_due[rank] = False
                 self.stats.refreshes += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_refresh(rank, now)
                 return True
         return False
 
@@ -293,13 +328,18 @@ class ChannelController:
     def _execute(self, cmd: CandidateCommand, now: int) -> None:
         bank = self.banks[cmd.rank][cmd.bank]
         stats = self.stats
+        sanitizer = self.sanitizer
         stats.busy_cycles += 1
         kind = cmd.kind
         if kind == CommandKind.ACTIVATE:
+            if sanitizer is not None:
+                sanitizer.on_activate(cmd.rank, cmd.bank, cmd.row, now)
             bank.do_activate(cmd.row, now, opened_by=cmd.txn.seq)
             self.timing.did_activate(cmd.rank, now)
             stats.activates += 1
         elif kind == CommandKind.PRECHARGE:
+            if sanitizer is not None:
+                sanitizer.on_precharge(cmd.rank, cmd.bank, now)
             bank.do_precharge(now)
             stats.precharges += 1
         elif kind == CommandKind.READ:
@@ -309,6 +349,10 @@ class ChannelController:
             txn.row_hit = bank.opened_by != txn.seq
             bank.do_read(now)
             data_end = self.timing.did_cas(cmd.rank, False, now)
+            if sanitizer is not None:
+                sanitizer.on_cas(
+                    cmd.rank, cmd.bank, cmd.row, now, False, data_end, txn.arrival
+                )
             self.read_queue.remove(txn)
             stats.reads_done += 1
             if txn.row_hit:
@@ -326,6 +370,10 @@ class ChannelController:
             txn = cmd.txn
             bank.do_write(now)
             data_end = self.timing.did_cas(cmd.rank, True, now)
+            if sanitizer is not None:
+                sanitizer.on_cas(
+                    cmd.rank, cmd.bank, cmd.row, now, True, data_end, txn.arrival
+                )
             self.write_queue.remove(txn)
             stats.writes_done += 1
             stats.write_wait_sum += now - txn.arrival
@@ -382,6 +430,13 @@ class MemorySystem:
 
     def dram_to_cpu(self, dram_cycle: int) -> int:
         return dram_cycle * self._ratio
+
+    def finish_sanitize(self, cpu_now: int) -> None:
+        """End-of-run protocol checks (refresh cadence) on every channel."""
+        dram_now = cpu_now // self._ratio
+        for channel in self.channels:
+            if channel.sanitizer is not None:
+                channel.sanitizer.finish(dram_now)
 
     def pending(self) -> int:
         return sum(channel.pending() for channel in self.channels)

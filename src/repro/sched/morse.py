@@ -43,6 +43,7 @@ class MorseScheduler(Scheduler):
         epsilon: float = 0.02,
         use_criticality: bool = False,
         seed: int = 7,
+        rng: random.Random | None = None,
     ):
         if commands_checked < 1:
             raise ValueError(
@@ -54,7 +55,9 @@ class MorseScheduler(Scheduler):
         self.gamma = gamma
         self.epsilon = epsilon
         self.use_criticality = use_criticality
-        self._rng = random.Random(seed)
+        # Determinism contract: all exploration randomness flows through one
+        # injectable, seeded stream — never the random module's global state.
+        self._rng = rng if rng is not None else random.Random(seed)
         self._weights: dict = {}
         self._prev_keys = None
         self._prev_q = 0.0

@@ -31,7 +31,6 @@ import hashlib
 import json
 import os
 import pickle
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -187,6 +186,8 @@ def clear_disk_cache() -> int:
             try:
                 path.unlink()
                 removed += 1
+            # a locked file just stays behind, uncounted
+            # repro-lint: disable=EXC002 best-effort cleanup
             except OSError:
                 pass
     return removed
@@ -359,6 +360,69 @@ def run_many(
     return results
 
 
+# ------------------------------------------------------- determinism checks
+
+
+def verify_determinism(spec: RunSpec, subprocess: bool = True) -> dict:
+    """Run ``spec`` three ways and compare determinism hash-chains.
+
+    The reference run uses the default fast-forwarding loop in-process;
+    it is compared against (a) the cycle-by-cycle loop in-process and
+    (b) the fast-forwarding loop in a freshly forked worker process.
+    Returns a report dict: ``ok``, the reference ``chain`` digest, and a
+    ``runs`` list with each comparison's verdict and — on divergence —
+    the earliest diverging checkpoint from
+    :func:`repro.analysis.detchain.first_divergence`.
+    """
+    from repro.analysis.detchain import first_divergence
+    from repro.sim.stats import result_fingerprint
+
+    reference = run_one(spec)
+    comparisons: list[tuple[str, SimResult]] = []
+
+    saved = os.environ.get("REPRO_NO_SKIP")
+    os.environ["REPRO_NO_SKIP"] = "1"
+    try:
+        comparisons.append(("cycle-by-cycle loop", run_one(spec)))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_SKIP", None)
+        else:
+            os.environ["REPRO_NO_SKIP"] = saved
+
+    if subprocess:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                comparisons.append(
+                    ("fresh subprocess", pool.submit(run_one, spec).result())
+                )
+
+    report = {
+        "label": reference.label,
+        "chain": reference.det_chain,
+        "cycles": reference.cycles,
+        "ok": True,
+        "runs": [],
+    }
+    for name, other in comparisons:
+        matches = result_fingerprint(reference) == result_fingerprint(other)
+        entry = {"name": name, "ok": matches, "chain": other.det_chain}
+        if not matches:
+            report["ok"] = False
+            entry["first_divergence"] = first_divergence(
+                reference.det_checkpoints, other.det_checkpoints
+            )
+        report["runs"].append(entry)
+    return report
+
+
 # ------------------------------------------------------------ observability
 
 
@@ -387,5 +451,7 @@ def _write_run_log(metrics) -> None:
         with open(path, "a") as fh:
             for metric in metrics:
                 fh.write(json.dumps(metric) + "\n")
+    # an unwritable metrics log must never fail the simulation it records
+    # repro-lint: disable=EXC002 observability only
     except OSError:
         pass

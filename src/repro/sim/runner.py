@@ -40,15 +40,26 @@ def _run_system(make_system, max_cycles: int) -> SimResult:
     setting and the two results are cross-checked for bit-identity.
     """
     skip = not _env_flag("REPRO_NO_SKIP")
-    start = time.perf_counter()
+    # Wall-clock observability only: never feeds back into simulated state.
+    start = time.perf_counter()  # repro-lint: disable=DET002 wall_seconds metric
     result = make_system().run(max_cycles=max_cycles, skip_cycles=skip)
-    result.wall_seconds = time.perf_counter() - start
+    result.wall_seconds = time.perf_counter() - start  # repro-lint: disable=DET002 wall_seconds metric
     if _env_flag("REPRO_VERIFY_SKIP"):
         other = make_system().run(max_cycles=max_cycles, skip_cycles=not skip)
         if result_fingerprint(result) != result_fingerprint(other):
+            from repro.analysis.detchain import first_divergence
+
+            where = first_divergence(
+                result.det_checkpoints, other.det_checkpoints
+            )
+            location = (
+                f" (determinism chain first diverges at cycle {where['cycle']})"
+                if where
+                else " (determinism chains agree; divergence is in statistics)"
+            )
             raise AssertionError(
                 f"skip-cycles fast-forward diverged from the cycle-by-cycle "
-                f"loop for {result.label!r}"
+                f"loop for {result.label!r}{location}"
             )
     return result
 

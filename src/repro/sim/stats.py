@@ -25,6 +25,11 @@ class SimResult:
     hit_max_cycles: bool = False
     #: Host wall-clock seconds the run took (0.0 when not measured).
     wall_seconds: float = 0.0
+    #: Final determinism hash-chain digest (see repro.analysis.detchain);
+    #: None when sampling is disabled (REPRO_DETCHAIN_EVERY=0).
+    det_chain: int | None = None
+    #: Periodic ``(cycle, digest)`` checkpoints for divergence localisation.
+    det_checkpoints: list = field(default_factory=list)
 
     @property
     def cycles_per_second(self) -> float:
@@ -106,6 +111,7 @@ def result_fingerprint(result: SimResult):
         tuple(result.finish_cycles),
         tuple(result.committed),
         result.hit_max_cycles,
+        result.det_chain,
         tuple(_stat_items(s) for s in result.core_stats),
         tuple(_stat_items(c) for c in result.channels),
         _stat_items(result.hierarchy),

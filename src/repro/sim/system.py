@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.analysis import detchain
 from repro.config import SystemConfig
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.provider import CriticalityProvider, NullProvider
@@ -110,6 +111,13 @@ class System:
         now = self._now
         hit_cap = False
         forever = _FOREVER
+        # Determinism hash-chain: fold a snapshot of architectural state
+        # every `every` cycles.  Sample cycles are defined on the virtual
+        # cycle axis, so fast-forwarded windows fold the same (constant)
+        # state at the same cycles the naive loop would have.
+        every = detchain.interval()
+        chain = detchain.DetChain(every) if every else None
+        next_sample = every
         while remaining:
             if max_cycles is not None and now >= max_cycles:
                 hit_cap = True
@@ -155,13 +163,24 @@ class System:
                 if target > nxt:
                     memory.fast_forward(nxt, target)
                     nxt = target
+            if chain is not None and next_sample < nxt:
+                # State at the end of every cycle in [now, nxt) equals the
+                # state right now (skipped cycles change nothing), so fold
+                # one sample per due sample point in the window.
+                state = detchain.snapshot(self)
+                while next_sample < nxt:
+                    chain.sample(next_sample, state)
+                    next_sample += every
             self._now = now = nxt
         for core in cores:
             if not core.done:
                 core.flush_skip(now)
                 if finish[core.core_id] == 0:
                     finish[core.core_id] = now
+        memory.finish_sanitize(now)
 
+        if chain is not None:
+            chain.finalize(now, detchain.snapshot(self))
         result = SimResult(
             label=self.label,
             cycles=now,
@@ -172,5 +191,7 @@ class System:
             channels=[ch.stats for ch in memory.channels],
             providers=self.providers,
             hit_max_cycles=hit_cap,
+            det_chain=chain.digest if chain is not None else None,
+            det_checkpoints=chain.checkpoints if chain is not None else [],
         )
         return result

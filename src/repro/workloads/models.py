@@ -32,7 +32,15 @@ MB = 1024 * KB
 
 @dataclass(frozen=True)
 class AppModel:
-    """Parameters consumed by :mod:`repro.workloads.synthetic`."""
+    """Parameters consumed by :mod:`repro.workloads.synthetic`.
+
+    Determinism contract: models are frozen (hashable) and carry no RNG
+    state of their own.  Trace generation in :mod:`repro.workloads.synthetic`
+    derives every random stream from ``(model, seed, thread_id)`` through a
+    locally constructed ``random.Random``, and its trace cache is keyed on
+    the *full* model value — two models that differ in any field never
+    share traces, even if they share a ``name``.
+    """
 
     name: str
     #: Instruction mix (fractions of the dynamic stream); DRAM-bound burst

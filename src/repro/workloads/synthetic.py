@@ -261,7 +261,10 @@ def generate_trace(
     PC and address space; threads of one parallel app share PCs and the
     shared data region but have private footprints.
     """
-    key = (model.name, instructions, thread_id, threads, seed, pc_base, address_base)
+    # Key on the full frozen model, not just its name: a model derived via
+    # dataclasses.replace (sensitivity sweeps) must never alias the cached
+    # traces of the original or results silently desynchronise.
+    key = (model, instructions, thread_id, threads, seed, pc_base, address_base)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         return cached

@@ -1,0 +1,73 @@
+"""Seeded hazard fixture for the simulator lint pass.
+
+Every rule in :mod:`repro.analysis.lint` must fire at least once on this
+file, so ``tools/lint.py tests/fixtures/lint_hazards.py`` exiting nonzero
+proves the linter actually detects each hazard class.  The file is never
+imported — it only needs to parse.
+
+Do NOT "fix" these; they are the test vectors.
+"""
+
+import datetime
+import random
+import time
+
+
+def unseeded_randomness(queue):
+    # DET001: the module-global generator depends on process history.
+    pick = random.choice(queue)
+    random.shuffle(queue)
+    return pick
+
+
+def wall_clock_timestamp():
+    # DET002: host time leaking into simulated state.
+    started = time.time()
+    stamp = datetime.datetime.now()
+    return started, stamp
+
+
+def set_order_decision(pending):
+    # DET003: set iteration order varies with PYTHONHASHSEED.
+    ready = {txn for txn in pending}
+    for txn in ready:
+        return txn
+    return None
+
+
+def float_cycles(total, banks):
+    # FLT001: float arithmetic stored into a cycle counter.
+    next_ready_cycle = total / banks
+    return next_ready_cycle
+
+
+def mutate_frozen(config):
+    # CFG001: frozen configs are hashed into cache keys.
+    config.tCL = 5
+    object.__setattr__(config, "tRP", 9)
+
+
+class RogueScheduler:
+    # SCH001: bypasses the sched.base interface contracts.
+    def select(self, candidates, controller, now):
+        return candidates[0] if candidates else None
+
+
+def swallow_everything(action):
+    try:
+        action()
+    except:  # EXC001: bare except
+        return None
+
+
+def drop_silently(action):
+    try:
+        action()
+    except ValueError:
+        pass  # EXC002: error erased without a trace
+
+
+def suppressed_example():
+    # A correctly suppressed finding: counts as `suppressed`, not a finding.
+    t0 = time.perf_counter()  # repro-lint: disable=DET002 fixture example
+    return t0

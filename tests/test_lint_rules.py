@@ -1,0 +1,370 @@
+"""Unit tests for the simulator-specific AST lint pass.
+
+Each rule gets positive cases (the hazard fires), negative cases (the
+idiomatic alternative stays clean), and a suppression case.  The seeded
+fixture ``tests/fixtures/lint_hazards.py`` then pins the CLI contract:
+every rule fires on it, and ``src/repro`` at HEAD is clean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import (
+    ALL_RULES,
+    RULES_BY_ID,
+    lint_paths,
+    lint_source,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+HAZARD_FIXTURE = REPO / "tests" / "fixtures" / "lint_hazards.py"
+
+
+def rules_hit(source: str, select: set[str] | None = None) -> set[str]:
+    report = lint_source(textwrap.dedent(source), select=select)
+    assert not report.errors, report.errors
+    return {f.rule for f in report.findings}
+
+
+class TestUnseededRandom:
+    def test_module_global_call(self):
+        assert "DET001" in rules_hit("""
+            import random
+
+            def pick(queue):
+                return random.choice(queue)
+        """)
+
+    def test_aliased_import(self):
+        assert "DET001" in rules_hit("""
+            import random as rnd
+
+            def roll():
+                return rnd.randint(0, 7)
+        """)
+
+    def test_from_import_binds_global(self):
+        assert "DET001" in rules_hit("from random import shuffle\n")
+
+    def test_numpy_global(self):
+        assert "DET001" in rules_hit("""
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """)
+
+    def test_seeded_instances_are_clean(self):
+        assert "DET001" not in rules_hit("""
+            import random
+            import numpy as np
+
+            def make(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng.choice([1, 2]), gen
+        """)
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert "DET002" in rules_hit("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+
+    def test_perf_counter_and_datetime(self):
+        hits = rules_hit("""
+            import datetime
+            import time
+
+            def measure():
+                return time.perf_counter(), datetime.datetime.now()
+        """)
+        assert "DET002" in hits
+
+    def test_from_import(self):
+        assert "DET002" in rules_hit("from time import monotonic\n")
+
+    def test_sleepless_code_is_clean(self):
+        assert "DET002" not in rules_hit("""
+            def advance(now, step):
+                return now + step
+        """)
+
+
+class TestSetIteration:
+    def test_set_literal(self):
+        assert "DET003" in rules_hit("""
+            def first():
+                for item in {3, 1, 2}:
+                    return item
+        """)
+
+    def test_local_set_variable(self):
+        assert "DET003" in rules_hit("""
+            def drain(items):
+                pending = set(items)
+                for txn in pending:
+                    yield txn
+        """)
+
+    def test_set_comprehension_in_genexp(self):
+        assert "DET003" in rules_hit("""
+            def ids(txns):
+                return [t for t in {x.core for x in txns}]
+        """)
+
+    def test_set_union_expression(self):
+        assert "DET003" in rules_hit("""
+            def both(a):
+                reads = set(a)
+                writes = set(a)
+                for txn in reads | writes:
+                    yield txn
+        """)
+
+    def test_sorted_set_is_clean(self):
+        assert "DET003" not in rules_hit("""
+            def drain(items):
+                pending = set(items)
+                for txn in sorted(pending):
+                    yield txn
+        """)
+
+    def test_list_iteration_is_clean(self):
+        assert "DET003" not in rules_hit("""
+            def drain(items):
+                for txn in list(items):
+                    yield txn
+        """)
+
+
+class TestFloatCycle:
+    def test_true_division_into_cycle_name(self):
+        assert "FLT001" in rules_hit("""
+            def midpoint(a, b):
+                wake_cycle = (a + b) / 2
+                return wake_cycle
+        """)
+
+    def test_augmented_division(self):
+        assert "FLT001" in rules_hit("""
+            def halve(now):
+                now /= 2
+                return now
+        """)
+
+    def test_float_literal(self):
+        assert "FLT001" in rules_hit("""
+            def pad(self, base):
+                self.ready = base + 1.5
+        """)
+
+    def test_int_wrapped_is_clean(self):
+        assert "FLT001" not in rules_hit("""
+            def midpoint(a, b):
+                wake_cycle = int((a + b) / 2)
+                other_cycle = (a + b) // 2
+                return wake_cycle, other_cycle
+        """)
+
+    def test_non_cycle_names_are_clean(self):
+        assert "FLT001" not in rules_hit("""
+            def ratio(a, b):
+                ipc = a / b
+                return ipc
+        """)
+
+
+class TestConfigMutation:
+    def test_attribute_assignment(self):
+        assert "CFG001" in rules_hit("""
+            def tweak(config):
+                config.tCL = 5
+        """)
+
+    def test_nested_config_attribute(self):
+        assert "CFG001" in rules_hit("""
+            def tweak(self):
+                self.config.channels = 4
+        """)
+
+    def test_setattr_backdoor(self):
+        assert "CFG001" in rules_hit("""
+            def tweak(config):
+                object.__setattr__(config, "tRP", 9)
+        """)
+
+    def test_ordinary_attributes_are_clean(self):
+        assert "CFG001" not in rules_hit("""
+            def record(self, value):
+                self.result = value
+                self.stats.count = 3
+        """)
+
+
+class TestSchedulerInterface:
+    def test_rogue_scheduler(self):
+        assert "SCH001" in rules_hit("""
+            class RogueScheduler:
+                def select(self, candidates, controller, now):
+                    return None
+        """)
+
+    def test_proper_subclass_is_clean(self):
+        assert "SCH001" not in rules_hit("""
+            from repro.sched.base import Scheduler
+
+            class GoodScheduler(Scheduler):
+                name = "good"
+        """)
+
+    def test_base_interface_itself_is_exempt(self):
+        assert "SCH001" not in rules_hit("""
+            class Scheduler:
+                def select(self, candidates, controller, now):
+                    raise NotImplementedError
+        """)
+
+    def test_subclass_of_subclass_is_clean(self):
+        assert "SCH001" not in rules_hit("""
+            from repro.sched.morse import MorseScheduler
+
+            class TunedScheduler(MorseScheduler):
+                name = "tuned"
+        """)
+
+
+class TestExceptionRules:
+    def test_bare_except(self):
+        assert "EXC001" in rules_hit("""
+            def run(action):
+                try:
+                    action()
+                except:
+                    return None
+        """)
+
+    def test_silent_handler(self):
+        assert "EXC002" in rules_hit("""
+            def run(action):
+                try:
+                    action()
+                except ValueError:
+                    pass
+        """)
+
+    def test_docstring_plus_pass_is_still_silent(self):
+        assert "EXC002" in rules_hit("""
+            def run(action):
+                try:
+                    action()
+                except ValueError:
+                    '''tolerated'''
+                    ...
+        """)
+
+    def test_handled_exception_is_clean(self):
+        hits = rules_hit("""
+            def run(action, log):
+                try:
+                    action()
+                except ValueError as exc:
+                    log.append(exc)
+        """)
+        assert "EXC001" not in hits and "EXC002" not in hits
+
+
+class TestSuppression:
+    def test_trailing_comment(self):
+        report = lint_source(
+            "import time\n"
+            "t0 = time.time()  # repro-lint: disable=DET002 startup stamp\n"
+        )
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["DET002"]
+
+    def test_line_above_comment(self):
+        report = lint_source(
+            "import time\n"
+            "# repro-lint: disable=DET002 measured on purpose\n"
+            "t0 = time.time()\n"
+        )
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["DET002"]
+
+    def test_disable_all(self):
+        report = lint_source(
+            "import time\n"
+            "t0 = time.time()  # repro-lint: disable=all\n"
+        )
+        assert not report.findings and report.suppressed
+
+    def test_wrong_rule_does_not_suppress(self):
+        report = lint_source(
+            "import time\n"
+            "t0 = time.time()  # repro-lint: disable=DET001\n"
+        )
+        assert [f.rule for f in report.findings] == ["DET002"]
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        report = lint_source(
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=DET002\n"
+            "b = time.time()\n"
+        )
+        assert [f.rule for f in report.findings] == ["DET002"]
+        assert len(report.suppressed) == 1
+
+
+class TestRunner:
+    def test_select_filters_rules(self):
+        source = "import time\nfor x in {1, 2}:\n    t = time.time()\n"
+        report = lint_source(source, select={"DET003"})
+        assert {f.rule for f in report.findings} == {"DET003"}
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = lint_source("def broken(:\n")
+        assert report.errors and not report.ok
+
+    def test_findings_render_with_location(self):
+        report = lint_source("import time\nt = time.time()\n", path="mod.py")
+        rendered = report.findings[0].render()
+        assert rendered.startswith("mod.py:2:")
+        assert "DET002" in rendered
+
+    def test_rule_registry_is_consistent(self):
+        assert len(RULES_BY_ID) == len(ALL_RULES)
+        for rule in ALL_RULES:
+            assert rule.id and rule.title and rule.__class__.__doc__
+
+
+class TestRepoContract:
+    def test_every_rule_fires_on_the_hazard_fixture(self):
+        report = lint_paths([HAZARD_FIXTURE])
+        assert {f.rule for f in report.findings} == set(RULES_BY_ID)
+        assert {f.rule for f in report.suppressed} == {"DET002"}
+
+    def test_cli_exits_nonzero_on_hazards(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint.py"),
+             str(HAZARD_FIXTURE)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_src_repro_is_clean_at_head(self):
+        report = lint_paths([REPO / "src" / "repro"])
+        assert report.files > 40
+        assert not report.errors
+        assert not report.findings, "\n".join(
+            f.render() for f in report.findings
+        )

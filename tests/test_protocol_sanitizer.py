@@ -1,0 +1,286 @@
+"""Shadow JEDEC protocol sanitizer: injected violations must be caught.
+
+Drives the :class:`~repro.analysis.protocol.ProtocolSanitizer` directly
+with hand-built command streams that each break exactly one Table-3
+constraint, asserting the oracle raises with the right rule name — and
+that legal streams pass.  Then breaks a constraint through the *real*
+controller path (forging bank bookkeeping under ``REPRO_SANITIZE=1``) to
+prove the wiring, and runs a clean end-to-end simulation sanitized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.protocol import (
+    ProtocolSanitizer,
+    ProtocolViolation,
+    maybe_attach,
+    sanitize_enabled,
+)
+from repro.config import DramConfig, SimScale
+
+CONFIG = DramConfig(channels=1, ranks_per_channel=2, banks_per_rank=4)
+T = CONFIG.timings
+
+
+def make_sanitizer(**kwargs) -> ProtocolSanitizer:
+    return ProtocolSanitizer(CONFIG, channel_id=0, **kwargs)
+
+
+def cas(san, rank, bank, row, now, is_write=False, arrival=None,
+        data_end=None):
+    """Issue a CAS with the burst-end cycle the shared-bus model implies.
+
+    Mirrors the controller's bus queue (tCL/tWL start, tRTRS on rank
+    switch, pushback behind the previous burst) so tests can build legal
+    streams; pass ``data_end`` explicitly to test the cross-check itself.
+    """
+    if data_end is None:
+        start = now + (T.tWL if is_write else T.tCL)
+        bus_free = san.bus_free
+        if san.bus_last_rank not in (-1, rank):
+            bus_free += T.tRTRS
+        start = max(start, bus_free)
+        data_end = start + T.burst_cycles
+    san.on_cas(rank, bank, row, now, is_write, data_end,
+               now if arrival is None else arrival)
+
+
+class TestLegalStreams:
+    def test_open_read_close_reopen(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        cas(san, 0, 0, 5, now=T.tRCD)
+        pre = max(T.tRAS, T.tRCD + T.tRTP)
+        san.on_precharge(0, 0, now=pre)
+        san.on_activate(0, 0, 9, now=pre + T.tRP)
+        assert san.commands == 4
+        assert san.checks > 0
+
+    def test_write_then_read_after_twtr(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        san.on_activate(0, 1, 2, now=T.tRRD)
+        cas(san, 0, 0, 1, now=T.tRCD, is_write=True)
+        write_end = san.rank_write_data_end[0]
+        cas(san, 0, 1, 2, now=write_end + T.tWTR)
+
+    def test_rank_switch_pays_trtrs(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        san.on_activate(1, 0, 1, now=0)  # other rank: tRRD does not apply
+        cas(san, 0, 0, 1, now=T.tRCD)
+        # Back-to-back CAS to the other rank: its data must queue behind
+        # the first burst plus the tRTRS switch gap.
+        cas(san, 1, 0, 1, now=T.tRCD + T.tCCD)
+        assert san.bus_last_rank == 1
+
+    def test_refresh_cycle(self):
+        san = make_sanitizer()
+        san.on_refresh(0, now=100)
+        san.on_activate(0, 0, 1, now=100 + T.tRFC)
+        assert san.rank_last_ref[0] == 100
+
+
+class TestBankViolations:
+    def test_trcd(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        with pytest.raises(ProtocolViolation, match="tRCD"):
+            cas(san, 0, 0, 5, now=T.tRCD - 1)
+
+    def test_trp(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        pre = max(T.tRAS, 20)
+        san.on_precharge(0, 0, now=pre)
+        with pytest.raises(ProtocolViolation, match="tRP"):
+            san.on_activate(0, 0, 6, now=pre + T.tRP - 1)
+
+    def test_tras(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        with pytest.raises(ProtocolViolation, match="tRAS"):
+            san.on_precharge(0, 0, now=T.tRAS - 1)
+
+    def test_trc(self):
+        # DDR3-2133 has tRC == tRAS + tRP, so any tRC-only violation is
+        # masked by tRP; stretch tRC to isolate the ACT->ACT window.
+        import dataclasses
+
+        timings = dataclasses.replace(T, tRC=T.tRAS + T.tRP + 6)
+        san = ProtocolSanitizer(dataclasses.replace(CONFIG, timings=timings))
+        san.on_activate(0, 0, 5, now=0)
+        san.on_precharge(0, 0, now=T.tRAS)
+        with pytest.raises(ProtocolViolation, match="tRC"):
+            san.on_activate(0, 0, 6, now=T.tRAS + T.tRP)
+
+    def test_trtp(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        read = T.tRAS  # late read: tRAS is already satisfied at precharge
+        cas(san, 0, 0, 5, now=read)
+        with pytest.raises(ProtocolViolation, match="tRTP"):
+            san.on_precharge(0, 0, now=read + T.tRTP - 1)
+
+    def test_twr(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        write = T.tRAS  # late write: isolates write recovery from tRAS
+        cas(san, 0, 0, 5, now=write, is_write=True)
+        recovery_end = write + T.tWL + T.burst_cycles + T.tWR
+        with pytest.raises(ProtocolViolation, match="tWR"):
+            san.on_precharge(0, 0, now=recovery_end - 1)
+
+    def test_activate_with_row_open(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        with pytest.raises(ProtocolViolation, match="already has row"):
+            san.on_activate(0, 0, 6, now=T.tRC)
+
+    def test_cas_row_mismatch(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 5, now=0)
+        with pytest.raises(ProtocolViolation, match="open row"):
+            cas(san, 0, 0, 7, now=T.tRCD)
+
+    def test_precharge_closed_bank(self):
+        san = make_sanitizer()
+        with pytest.raises(ProtocolViolation, match="closed"):
+            san.on_precharge(0, 0, now=50)
+
+
+class TestRankAndChannelViolations:
+    def test_trrd(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        with pytest.raises(ProtocolViolation, match="tRRD"):
+            san.on_activate(0, 1, 1, now=T.tRRD - 1)
+
+    def test_tccd(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        san.on_activate(0, 1, 2, now=T.tRRD)
+        # First CAS late enough that bank 1's tRCD is already satisfied,
+        # so only the CAS->CAS gap is at fault.
+        first = T.tRRD + T.tRCD
+        cas(san, 0, 0, 1, now=first)
+        with pytest.raises(ProtocolViolation, match="tCCD"):
+            cas(san, 0, 1, 2, now=first + T.tCCD - 1)
+
+    def test_twtr(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        san.on_activate(0, 1, 2, now=T.tRRD)
+        cas(san, 0, 0, 1, now=T.tRCD, is_write=True)
+        write_end = san.rank_write_data_end[0]
+        with pytest.raises(ProtocolViolation, match="tWTR"):
+            cas(san, 0, 1, 2, now=write_end + T.tWTR - 1)
+
+    def test_burst_end_mismatch(self):
+        san = make_sanitizer()
+        san.on_activate(0, 0, 1, now=0)
+        with pytest.raises(ProtocolViolation, match="burst-end mismatch"):
+            cas(san, 0, 0, 1, now=T.tRCD,
+                data_end=T.tRCD + T.tCL + T.burst_cycles - 1)
+
+    def test_read_starvation(self):
+        san = make_sanitizer(starvation_factor=2)
+        limit = 2 * CONFIG.starvation_cap_dram_cycles
+        san.on_activate(0, 0, 1, now=limit + 100)
+        with pytest.raises(ProtocolViolation, match="starvation"):
+            cas(san, 0, 0, 1, now=limit + 100 + T.tRCD, arrival=50)
+
+
+class TestRefreshViolations:
+    def test_refresh_with_open_bank(self):
+        san = make_sanitizer()
+        san.on_activate(0, 2, 7, now=0)
+        with pytest.raises(ProtocolViolation, match="REFRESH.*open"):
+            san.on_refresh(0, now=T.tRAS + T.tRP)
+
+    def test_activate_during_trfc(self):
+        san = make_sanitizer()
+        san.on_refresh(0, now=100)
+        with pytest.raises(ProtocolViolation, match="refresh"):
+            san.on_activate(0, 0, 1, now=100 + T.tRFC - 1)
+
+    def test_other_rank_not_blocked_by_refresh(self):
+        san = make_sanitizer()
+        san.on_refresh(0, now=100)
+        san.on_activate(1, 0, 1, now=101)  # rank 1 is unaffected
+
+    def test_overdue_refresh(self):
+        san = make_sanitizer()
+        allowance = 2 * T.refresh_interval_cycles + T.tRFC + 64
+        with pytest.raises(ProtocolViolation, match="overdue"):
+            san.on_refresh(0, now=allowance + 1)
+
+    def test_finish_flags_never_refreshed_rank(self):
+        san = make_sanitizer()
+        allowance = 2 * T.refresh_interval_cycles + T.tRFC + 64
+        san.finish(allowance)  # exactly at the bound: still legal
+        with pytest.raises(ProtocolViolation, match="overdue"):
+            san.finish(allowance + 1)
+
+
+class TestWiring:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+
+        class FakeController:
+            config = CONFIG
+            channel_id = 0
+
+        assert maybe_attach(FakeController()) is None
+
+    def test_injected_trp_violation_caught_via_controller(self, monkeypatch):
+        """Forge a bank's tRP bookkeeping; only the shadow oracle notices."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.dram.addressmap import DramLocation
+        from repro.dram.controller import ChannelController
+        from repro.dram.transaction import Transaction
+        from repro.sched.frfcfs import FrFcfsScheduler
+
+        config = DramConfig(channels=1, ranks_per_channel=1, banks_per_rank=2)
+        controller = ChannelController(0, config, FrFcfsScheduler())
+        assert controller.sanitizer is not None
+
+        first = Transaction(0, DramLocation(0, 0, 0, 1, 0))
+        controller.enqueue(first, 0)
+        now = 0
+        while first in controller.read_queue:
+            controller.step(now)
+            now += 1
+
+        bank = controller.banks[0][0]
+        controller.enqueue(Transaction(0, DramLocation(0, 0, 0, 2, 0)), now)
+        with pytest.raises(ProtocolViolation, match="tRP"):
+            for now in range(now, now + 400):
+                row_was_open = bank.open_row is not None
+                controller.step(now)
+                if row_was_open and bank.open_row is None:
+                    bank.act_ready = 0  # forge: erase the tRP delay
+
+    def test_clean_run_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        from repro.sim.runner import run_parallel_workload
+
+        scale = SimScale(instructions_per_core=800, warmup_instructions=100)
+        result = run_parallel_workload("fft", scale=scale)
+        assert result.cycles > 0
+
+    def test_sanitizer_does_not_change_results(self, monkeypatch):
+        from repro.sim.runner import run_parallel_workload
+        from repro.sim.stats import result_fingerprint
+
+        scale = SimScale(instructions_per_core=800, warmup_instructions=100)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = run_parallel_workload("fft", scale=scale)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        checked = run_parallel_workload("fft", scale=scale)
+        assert result_fingerprint(plain) == result_fingerprint(checked)

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the simulator-specific AST lint pass.
+
+Equivalent to ``python -m repro lint``; works from a plain checkout
+without installation.  Exits nonzero when any unsuppressed finding
+remains — CI gates on this.
+
+    python tools/lint.py                 # lint src/repro
+    python tools/lint.py --list-rules
+    python tools/lint.py path/to/file.py --select DET001,EXC001
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
