@@ -36,8 +36,10 @@ def main():
     print()
     h = crit.hierarchy
     print("DRAM-serviced load latency under the criticality scheduler:")
-    print(f"  critical     : {h.mean_latency(True):.0f} cycles  (n={h.crit_latency_n})")
-    print(f"  non-critical : {h.mean_latency(False):.0f} cycles  (n={h.noncrit_latency_n})")
+    print(f"  critical     : {h.mean_latency(True):.0f} cycles  "
+          f"(n={h.crit_latency.count}, p99={h.crit_latency.percentile(99)})")
+    print(f"  non-critical : {h.mean_latency(False):.0f} cycles  "
+          f"(n={h.noncrit_latency.count}, p99={h.noncrit_latency.percentile(99)})")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@
     python -m repro experiment all             # regenerate everything
     python -m repro lint [paths...]            # simulator-specific AST lint
     python -m repro check-determinism fft      # cross-mode/-process chains
+    python -m repro stats fft --sample-every 256   # telemetry summaries
+    python -m repro trace fft --out timeline.json  # Chrome/Perfetto trace
 
 ``run`` and ``experiment`` accept engine flags: ``--jobs N`` (worker
 processes), ``--no-cache`` (bypass the on-disk result cache),
@@ -148,6 +150,90 @@ def _cmd_check_determinism(args) -> int:
     return 0
 
 
+def _run_for_telemetry(args):
+    """Run one workload for the stats/trace commands; returns the result."""
+    from repro.config import SimScale
+    from repro.sim.runner import run_parallel_workload
+
+    scale = SimScale(
+        instructions_per_core=args.instructions,
+        warmup_instructions=max(200, args.instructions // 10),
+        seed=args.seed,
+    )
+    spec = ("cbp", {"entries": args.cbp}) if args.cbp else None
+    return run_parallel_workload(
+        args.app, scheduler=args.scheduler, provider_spec=spec, scale=scale
+    )
+
+
+def _cmd_stats(args) -> int:
+    from repro.sim.report import (
+        histogram_ascii,
+        telemetry_markdown,
+        timeseries_to_csv,
+    )
+
+    if args.sample_every:
+        os.environ["REPRO_SAMPLE_EVERY"] = str(args.sample_every)
+    # Telemetry config is part of the cache key, but a run cached before
+    # this command existed would satisfy the spec without series; bypass.
+    os.environ.setdefault("REPRO_NO_CACHE", "1")
+    result = _run_for_telemetry(args)
+
+    if args.csv:
+        print(timeseries_to_csv(result), end="")
+        return 0
+
+    print(f"{result.label}: {result.cycles:,} cycles, "
+          f"IPC {result.system_ipc:.2f}")
+    print()
+    print(telemetry_markdown(result))
+    if args.shapes:
+        for name, value in result.metrics.items():
+            if isinstance(value, dict) and "buckets" in value:
+                print(f"\n{name}:")
+                print(histogram_ascii(value))
+    if result.sample_cycles:
+        print(f"\n{len(result.sample_cycles)} samples x "
+              f"{len(result.timeseries)} series "
+              f"(every {args.sample_every or 'REPRO_SAMPLE_EVERY'} cycles); "
+              f"use --csv to dump them")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.telemetry.trace import (
+        to_chrome_trace,
+        to_jsonl,
+        validate_chrome_trace,
+    )
+
+    os.environ["REPRO_TRACE"] = "1"
+    if args.cap:
+        os.environ["REPRO_TRACE_CAP"] = str(args.cap)
+    os.environ.setdefault("REPRO_NO_CACHE", "1")
+    result = _run_for_telemetry(args)
+
+    doc = to_chrome_trace(result.trace_events, label=result.label)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace event: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh)
+    dropped = f" ({result.trace_dropped} dropped)" if result.trace_dropped else ""
+    print(f"{len(result.trace_events)} events{dropped} -> {args.out} "
+          f"(load in Perfetto / chrome://tracing)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(to_jsonl(result.trace_events))
+        print(f"raw events -> {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +268,41 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--list-rules", action="store_true")
     lint_p.add_argument("--show-suppressed", action="store_true")
 
+    stats_p = sub.add_parser(
+        "stats", help="run one workload and print telemetry summaries"
+    )
+    stats_p.add_argument("app")
+    stats_p.add_argument("--scheduler", default="fr-fcfs")
+    stats_p.add_argument("--cbp", type=int, default=64,
+                         help="CBP entries (0 disables the predictor)")
+    stats_p.add_argument("--instructions", type=int, default=8_000)
+    stats_p.add_argument("--seed", type=int, default=1)
+    stats_p.add_argument("--sample-every", type=int, default=0, metavar="N",
+                         help="interval-sample every N cycles "
+                              "(env REPRO_SAMPLE_EVERY)")
+    stats_p.add_argument("--csv", action="store_true",
+                         help="dump the sampled time-series as CSV")
+    stats_p.add_argument("--shapes", action="store_true",
+                         help="print ASCII histogram shapes")
+    _add_engine_flags(stats_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one workload with the event trace enabled"
+    )
+    trace_p.add_argument("app")
+    trace_p.add_argument("--scheduler", default="fr-fcfs")
+    trace_p.add_argument("--cbp", type=int, default=64,
+                         help="CBP entries (0 disables the predictor)")
+    trace_p.add_argument("--instructions", type=int, default=4_000)
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--out", default="timeline.json",
+                         help="Chrome trace_event JSON output path")
+    trace_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="also write raw events as JSON lines")
+    trace_p.add_argument("--cap", type=int, default=0, metavar="N",
+                         help="ring-buffer capacity (env REPRO_TRACE_CAP)")
+    _add_engine_flags(trace_p)
+
     det_p = sub.add_parser(
         "check-determinism",
         help="compare determinism hash-chains across loop modes and processes",
@@ -204,6 +325,8 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "check-determinism": _cmd_check_determinism,
     }
     return handlers[args.command](args)

@@ -2,8 +2,9 @@
 
 Every ``REPRO_DETCHAIN_EVERY`` CPU cycles (default 1024; ``0`` disables)
 the system folds a snapshot of its *architectural* state — core dispatch
-and retire pointers, committed counts, memory queue contents, bank open
-rows, channel bus bookkeeping — into a rolling 64-bit FNV-1a digest,
+and retire pointers, committed counts, cache directory and MSHR
+occupancy, memory queue contents, bank open rows, channel bus and
+per-rank timing bookkeeping — into a rolling 64-bit FNV-1a digest,
 together with the sample cycle itself.  The final digest and the list of
 per-sample checkpoints are recorded on the :class:`~repro.sim.stats.SimResult`.
 
@@ -105,6 +106,7 @@ def snapshot(system) -> tuple:
     values.append(len(events))
     nxt = events.next_cycle()
     values.append(-1 if nxt is None else nxt)
+    values.extend(system.hierarchy.det_state())
     for channel in system.memory.channels:
         values.extend(channel.det_state())
     return tuple(values)

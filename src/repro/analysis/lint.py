@@ -13,6 +13,11 @@ DET002     wall-clock reads (``time.time`` et al.) — host time must never
            reach simulated state
 DET003     iteration over a ``set`` — Python set order varies across
            processes (PYTHONHASHSEED), so iteration order is nondeterministic
+DET004     iteration over a process-ordered mapping (``os.environ``,
+           ``globals()``/``locals()``/``vars()``, ``__dict__`` views) —
+           their order reflects process history, not simulated events
+ARG001     mutable default argument — evaluated once at definition time
+           and shared across calls, leaking state between runs
 FLT001     float arithmetic assigned to a cycle-counter-like name —
            cycles are exact integers; floats drift and break bit-identity
 CFG001     mutation of a frozen config object (``DramConfig`` /
@@ -351,6 +356,124 @@ class SetIterationRule(Rule):
         return unique
 
 
+class DictOrderRule(Rule):
+    """DET004: iteration over a mapping whose order is process-dependent.
+
+    Python dicts preserve insertion order, so iterating a dict the
+    simulation built is deterministic.  Some mappings' order instead
+    reflects *process* history: ``os.environ`` (inherited environment
+    block), ``globals()``/``locals()``/``vars()`` (definition and call
+    history), and ``__dict__`` views (attribute-creation order, which
+    shifts whenever a construction path changes).  A simulation decision
+    or recorded ordering derived from one of these can differ across
+    hosts and refactors.  Iterate ``sorted(...)`` instead.
+    """
+
+    id = "DET004"
+    title = "iteration over a process-ordered mapping"
+
+    _VIEWS = {"items", "keys", "values"}
+
+    @classmethod
+    def _base_expr(cls, node):
+        """Unwrap ``expr.items()/.keys()/.values()`` to ``expr``."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in cls._VIEWS
+            and not node.args
+        ):
+            return node.func.value
+        return node
+
+    def _offender(self, node, os_aliases, environ_names) -> str | None:
+        base = self._base_expr(node)
+        if isinstance(base, ast.Call):
+            chain = _attr_chain(base.func)
+            if chain in (["globals"], ["locals"], ["vars"]):
+                return f"{chain[0]}()"
+            return None
+        chain = _attr_chain(base)
+        if not chain:
+            return None
+        if chain[-1] == "__dict__":
+            return ".".join(chain)
+        if len(chain) == 2 and chain[0] in os_aliases and chain[1] == "environ":
+            return "os.environ"
+        if len(chain) == 1 and chain[0] in environ_names:
+            return "os.environ"
+        return None
+
+    def check_module(self, tree, path):
+        findings = []
+        os_aliases = _module_aliases(tree, "os")
+        environ_names = set(_from_imports(tree, "os", {"environ"}))
+        for node in ast.walk(tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                what = self._offender(it, os_aliases, environ_names)
+                if what:
+                    findings.append(self._finding(
+                        path, it,
+                        f"iterating {what}: its order reflects process "
+                        f"history, not simulated events; iterate "
+                        f"sorted(...) instead",
+                    ))
+        return findings
+
+
+class MutableDefaultRule(Rule):
+    """ARG001: mutable default argument.
+
+    A default value is evaluated once, at function definition, and the
+    same object is shared by every call that omits the argument.  A
+    default list/dict/set that a simulation component then mutates
+    carries state from one run into the next — results depend on call
+    history, which poisons cached experiments.  Default to ``None`` and
+    construct the container inside the body.
+    """
+
+    id = "ARG001"
+    title = "mutable default argument"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
+                      "defaultdict", "Counter", "OrderedDict"}
+
+    @classmethod
+    def _is_mutable(cls, node) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return bool(chain) and chain[-1] in cls._MUTABLE_CALLS
+        return False
+
+    def check_module(self, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults) + list(node.args.kw_defaults)
+            for default in defaults:
+                if default is not None and self._is_mutable(default):
+                    findings.append(self._finding(
+                        path, default,
+                        f"mutable default in {name}(): evaluated once and "
+                        f"shared across calls; default to None and build "
+                        f"the container inside the body",
+                    ))
+        return findings
+
+
 class FloatCycleRule(Rule):
     """FLT001: float arithmetic stored into a cycle-counter-like name.
 
@@ -586,6 +709,8 @@ ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
     SetIterationRule(),
+    DictOrderRule(),
+    MutableDefaultRule(),
     FloatCycleRule(),
     ConfigMutationRule(),
     SchedulerInterfaceRule(),

@@ -26,6 +26,7 @@ from repro.cache.mshr import MshrFile
 from repro.cache.prefetcher import StreamPrefetcher
 from repro.config import SystemConfig
 from repro.dram.transaction import Transaction
+from repro.telemetry.registry import LatencyHistogram
 
 #: Extra CPU cycles when a remote L1 holds the line Modified.
 INTERVENTION_PENALTY = 12
@@ -68,23 +69,17 @@ class HierarchyStats:
         self.invalidations = 0
         self.prefetches_issued = 0
         self.prefetches_useful = 0
-        # L2-miss (DRAM-serviced) load latency, split by issue-time
-        # criticality — Figure 6's quantity.
-        self.crit_latency_sum = 0
-        self.crit_latency_n = 0
-        self.noncrit_latency_sum = 0
-        self.noncrit_latency_n = 0
-        # Per-static-PC DRAM-load latency: pc -> [sum, count].
-        self.pc_latency: dict[int, list] = {}
+        # L2-miss (DRAM-serviced) load latency distributions, split by
+        # issue-time criticality — Figure 6's quantity plus its tails.
+        # `total`/`count` are exact, so means are bit-identical to the
+        # sum/count pairs these replace.
+        self.crit_latency = LatencyHistogram()
+        self.noncrit_latency = LatencyHistogram()
+        # Per-static-PC DRAM-load latency distribution.
+        self.pc_latency: dict[int, LatencyHistogram] = {}
 
     def mean_latency(self, critical: bool) -> float:
-        if critical:
-            return self.crit_latency_sum / self.crit_latency_n if self.crit_latency_n else 0.0
-        return (
-            self.noncrit_latency_sum / self.noncrit_latency_n
-            if self.noncrit_latency_n
-            else 0.0
-        )
+        return (self.crit_latency if critical else self.noncrit_latency).mean
 
     @property
     def l2_demand_accesses(self) -> int:
@@ -339,17 +334,13 @@ class MemoryHierarchy:
                     latency = now - handle.issue_cycle
                     stats = self.stats
                     if handle.critical:
-                        stats.crit_latency_sum += latency
-                        stats.crit_latency_n += 1
+                        stats.crit_latency.record(latency)
                     else:
-                        stats.noncrit_latency_sum += latency
-                        stats.noncrit_latency_n += 1
-                    cell = stats.pc_latency.get(handle.pc)
-                    if cell is None:
-                        stats.pc_latency[handle.pc] = [latency, 1]
-                    else:
-                        cell[0] += latency
-                        cell[1] += 1
+                        stats.noncrit_latency.record(latency)
+                    hist = stats.pc_latency.get(handle.pc)
+                    if hist is None:
+                        hist = stats.pc_latency[handle.pc] = LatencyHistogram()
+                    hist.record(latency)
                 callback(now)
 
     # ----------------------------------------------------------- coherence
@@ -490,6 +481,61 @@ class MemoryHierarchy:
         return range(
             line64, line64 + self.config.l2.line_bytes, self.config.l1d.line_bytes
         )
+
+    # -------------------------------------------------------------- telemetry
+
+    def register_metrics(self, registry, prefix: str = "hier") -> None:
+        """Register this hierarchy's instruments under ``prefix``.
+
+        The latency histograms are the live stats objects, so recording
+        stays a single method call; everything marked ``sampled`` is
+        event-driven (updated only at stepped cycles) and therefore
+        window-constant, as the interval sampler requires.
+        """
+        stats = self.stats
+        registry.histogram(f"{prefix}.crit_latency", stats.crit_latency)
+        registry.histogram(f"{prefix}.noncrit_latency", stats.noncrit_latency)
+        registry.gauge(f"{prefix}.loads", lambda: stats.loads, sampled=True)
+        registry.gauge(f"{prefix}.dram_loads",
+                       lambda: stats.dram_loads, sampled=True)
+        registry.gauge(f"{prefix}.l1_load_hits", lambda: stats.l1_load_hits)
+        registry.gauge(f"{prefix}.l2_load_hits", lambda: stats.l2_load_hits)
+        registry.gauge(f"{prefix}.writebacks", lambda: stats.writebacks)
+        registry.gauge(f"{prefix}.prefetches_issued",
+                       lambda: stats.prefetches_issued)
+        registry.gauge(f"{prefix}.l2_mshr_occupancy",
+                       lambda: len(self.l2_mshr), sampled=True)
+        # Epoch-resolved criticality latency: sampling cumulative
+        # count/total lets consumers difference adjacent samples into
+        # per-epoch means (histograms themselves are never sampled).
+        registry.gauge(f"{prefix}.crit_latency_count",
+                       lambda: stats.crit_latency.count, sampled=True)
+        registry.gauge(f"{prefix}.crit_latency_total",
+                       lambda: stats.crit_latency.total, sampled=True)
+        registry.gauge(f"{prefix}.noncrit_latency_count",
+                       lambda: stats.noncrit_latency.count, sampled=True)
+        registry.gauge(f"{prefix}.noncrit_latency_total",
+                       lambda: stats.noncrit_latency.total, sampled=True)
+
+    def det_state(self) -> list[int]:
+        """Architectural state words for the determinism hash-chain.
+
+        Directory, prefetch bookkeeping, store backlogs, and MSHR files
+        change only inside load/store/event handlers — all of which run
+        at stepped cycles — so everything here is constant during
+        quiescent fast-forward windows.  Set contents are reduced to
+        order-insensitive aggregates (sizes); dict iteration in the MSHR
+        views is insertion-ordered and hence deterministic.
+        """
+        values = [
+            len(self._dir),
+            len(self._prefetched_lines),
+            sum(self._store_backlog),
+        ]
+        for mshr in self.l1_mshr:
+            values.extend(mshr.det_state())
+        values.extend(self.l2_mshr.det_state())
+        return values
 
     # ------------------------------------------------------------------ clock
 

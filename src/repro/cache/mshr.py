@@ -56,5 +56,25 @@ class MshrFile:
         """Remove and return the entry (miss completed)."""
         return self._entries.pop(line_addr)
 
+    def det_state(self) -> list[int]:
+        """Architectural state words for the determinism hash-chain.
+
+        Entries only change inside cache/DRAM events, which always occur
+        at stepped cycles, so everything here is constant during
+        quiescent fast-forward windows.  Dict order is insertion order —
+        itself a deterministic product of the simulated access stream —
+        so the word sequence is reproducible across processes.
+        """
+        values = [len(self._entries)]
+        for line_addr, entry in self._entries.items():
+            values.append(line_addr)
+            values.append(len(entry.waiters))
+            values.append(
+                (1 if entry.rfo else 0) | (2 if entry.issued else 0)
+            )
+            txn = entry.txn
+            values.append(-1 if txn is None else txn.seq)
+        return values
+
     def __len__(self) -> int:
         return len(self._entries)

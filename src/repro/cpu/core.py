@@ -149,6 +149,8 @@ class OutOfOrderCore:
         # Duck-typed providers without next_tick_cycle have unknown tick
         # semantics; such cores are never skipped (skip_plan bails).
         self._next_tick = getattr(self.provider, "next_tick_cycle", None)
+        # Event-trace recorder (attached by System under REPRO_TRACE=1).
+        self.tracer = None
 
     # --------------------------------------------------------------- helpers
 
@@ -230,6 +232,8 @@ class OutOfOrderCore:
             slot.issued = True
             if critical:
                 self.stats.critical_loads_sent += 1
+                if self.tracer is not None:
+                    self.tracer.prediction(now, self.core_id, slot.pc, magnitude)
             self.stats.loads += 1
 
     def _do_commit(self, now: int) -> None:
@@ -268,6 +272,10 @@ class OutOfOrderCore:
                 if head.blocking_start >= 0:
                     stall = now - head.blocking_start
                     stats.total_block_stall += stall
+                    if self.tracer is not None:
+                        self.tracer.block_episode(
+                            head.blocking_start, self.core_id, head.pc, stall
+                        )
                     self.provider.on_blocked_commit(head.pc, stall, now)
                 self.provider.on_load_consumers(head.pc, head.consumers)
                 self._lq_used -= 1
@@ -495,6 +503,30 @@ class OutOfOrderCore:
                 self._fu_booked[itype] = {
                     c: n for c, n in booked.items() if c > now
                 }
+
+    # -------------------------------------------------------------- telemetry
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this core's instruments under ``prefix``.
+
+        Sampled gauges change only inside :meth:`step` or completion
+        events — never during a quiescent fast-forward window — so the
+        interval sampler's stream is skip-invariant.  Lazily-settled
+        per-cycle stall counters (``blocked_cycles`` et al.) must never
+        be sampled and are exposed unsampled only.
+        """
+        stats = self.stats
+        registry.gauge(f"{prefix}.committed",
+                       lambda: stats.committed, sampled=True)
+        registry.gauge(f"{prefix}.loads", lambda: stats.loads, sampled=True)
+        registry.gauge(f"{prefix}.critical_loads_sent",
+                       lambda: stats.critical_loads_sent, sampled=True)
+        registry.gauge(f"{prefix}.rob_occupancy",
+                       self._rob_occupancy, sampled=True)
+        registry.gauge(f"{prefix}.blocking_dram_loads",
+                       lambda: stats.blocking_dram_loads)
+        registry.gauge(f"{prefix}.blocked_dram_cycles",
+                       lambda: stats.blocked_dram_cycles)
 
     # -------------------------------------------------------------- inspection
 

@@ -66,6 +66,21 @@ class ChannelTiming:
             return False
         return True
 
+    # -- inspection --------------------------------------------------------
+
+    def det_state(self) -> list[int]:
+        """Architectural state words for the determinism hash-chain.
+
+        Every field only changes in :meth:`did_activate`/:meth:`did_cas`
+        — i.e. when a command executes, which never happens inside a
+        quiescent fast-forward window — so the whole vector, including
+        the per-rank arrays, is window-constant.
+        """
+        values = [self.next_cas_allowed, self.data_bus_free, self.last_data_rank]
+        values += self.rank_act_ready
+        values += self.rank_read_after_write
+        return values
+
     # -- command effects ---------------------------------------------------
 
     def did_activate(self, rank: int, now: int) -> None:

@@ -27,6 +27,7 @@ from repro.dram.bank import Bank
 from repro.dram.channel import ChannelTiming
 from repro.dram.command import CandidateCommand, CommandKind
 from repro.dram.transaction import Transaction
+from repro.telemetry.registry import LatencyHistogram
 
 
 class ChannelStats:
@@ -45,10 +46,8 @@ class ChannelStats:
         "critical_queue_cycles",
         "multi_critical_queue_cycles",
         "starvation_promotions",
-        "crit_wait_sum",
-        "crit_wait_n",
-        "noncrit_wait_sum",
-        "noncrit_wait_n",
+        "crit_wait",
+        "noncrit_wait",
         "write_wait_sum",
     )
 
@@ -67,10 +66,8 @@ class ChannelStats:
         self.starvation_promotions = 0
         # Queueing delay (arrival -> CAS issue), in DRAM cycles, split by
         # criticality flag; the component scheduling redistributes.
-        self.crit_wait_sum = 0
-        self.crit_wait_n = 0
-        self.noncrit_wait_sum = 0
-        self.noncrit_wait_n = 0
+        self.crit_wait = LatencyHistogram()
+        self.noncrit_wait = LatencyHistogram()
         self.write_wait_sum = 0
 
 
@@ -109,6 +106,10 @@ class ChannelController:
         # observes every command this controller issues and re-checks the
         # JEDEC constraints from its own bookkeeping.
         self.sanitizer = maybe_attach(self)
+        # Event-trace recorder (attached by System under REPRO_TRACE=1);
+        # timestamps are emitted in CPU cycles so all lanes share an axis.
+        self.trace = None
+        self._cpu_ratio = config.cpu_ratio
 
     # -- queue interface ----------------------------------------------------
 
@@ -163,6 +164,8 @@ class ChannelController:
         if not candidates:
             return
         chosen = self.scheduler.select(candidates, self, now)
+        if self.scheduler._m_decisions is not None:
+            self.scheduler.note_decision(chosen)
         if chosen is not None:
             self._execute(chosen, now)
             self.scheduler.on_command(chosen, now)
@@ -200,10 +203,7 @@ class ChannelController:
             for bank in rank_banks:
                 values.append(-1 if bank.open_row is None else bank.open_row)
                 values.append(bank.opened_by)
-        timing = self.timing
-        values += (
-            timing.next_cas_allowed, timing.data_bus_free, timing.last_data_rank
-        )
+        values += self.timing.det_state()
         values += self._next_refresh
         values.append(sum(1 << i for i, due in enumerate(self._refresh_due) if due))
         return values
@@ -230,6 +230,12 @@ class ChannelController:
                         self.stats.precharges += 1
                         if self.sanitizer is not None:
                             self.sanitizer.on_precharge(rank, bank.index, now)
+                        if self.trace is not None:
+                            ratio = self._cpu_ratio
+                            self.trace.command(
+                                now * ratio, self.channel_id, rank, bank.index,
+                                "PRE", -1, t.tRP * ratio,
+                            )
                         return True
             if not all_closed:
                 continue
@@ -242,6 +248,12 @@ class ChannelController:
                 self.stats.refreshes += 1
                 if self.sanitizer is not None:
                     self.sanitizer.on_refresh(rank, now)
+                if self.trace is not None:
+                    ratio = self._cpu_ratio
+                    self.trace.command(
+                        now * ratio, self.channel_id, rank, 0,
+                        "REF", -1, t.tRFC * ratio,
+                    )
                 return True
         return False
 
@@ -329,6 +341,7 @@ class ChannelController:
         bank = self.banks[cmd.rank][cmd.bank]
         stats = self.stats
         sanitizer = self.sanitizer
+        trace = self.trace
         stats.busy_cycles += 1
         kind = cmd.kind
         if kind == CommandKind.ACTIVATE:
@@ -337,11 +350,19 @@ class ChannelController:
             bank.do_activate(cmd.row, now, opened_by=cmd.txn.seq)
             self.timing.did_activate(cmd.rank, now)
             stats.activates += 1
+            if trace is not None:
+                ratio = self._cpu_ratio
+                trace.command(now * ratio, self.channel_id, cmd.rank, cmd.bank,
+                              "ACT", cmd.row, self.timings.tRCD * ratio)
         elif kind == CommandKind.PRECHARGE:
             if sanitizer is not None:
                 sanitizer.on_precharge(cmd.rank, cmd.bank, now)
             bank.do_precharge(now)
             stats.precharges += 1
+            if trace is not None:
+                ratio = self._cpu_ratio
+                trace.command(now * ratio, self.channel_id, cmd.rank, cmd.bank,
+                              "PRE", cmd.row, self.timings.tRP * ratio)
         elif kind == CommandKind.READ:
             txn = cmd.txn
             # A read is a row-buffer hit if it reused a row someone else's
@@ -359,11 +380,13 @@ class ChannelController:
                 stats.row_hit_reads += 1
             wait = now - txn.arrival
             if txn.critical:
-                stats.crit_wait_sum += wait
-                stats.crit_wait_n += 1
+                stats.crit_wait.record(wait)
             else:
-                stats.noncrit_wait_sum += wait
-                stats.noncrit_wait_n += 1
+                stats.noncrit_wait.record(wait)
+            if trace is not None:
+                ratio = self._cpu_ratio
+                trace.command(now * ratio, self.channel_id, cmd.rank, cmd.bank,
+                              "READ", cmd.row, (data_end - now) * ratio)
             if txn.callback is not None:
                 txn.callback(data_end)
         elif kind == CommandKind.WRITE:
@@ -377,10 +400,44 @@ class ChannelController:
             self.write_queue.remove(txn)
             stats.writes_done += 1
             stats.write_wait_sum += now - txn.arrival
+            if trace is not None:
+                ratio = self._cpu_ratio
+                trace.command(now * ratio, self.channel_id, cmd.rank, cmd.bank,
+                              "WRITE", cmd.row, (data_end - now) * ratio)
             if txn.callback is not None:
                 txn.callback(data_end)
         else:
             raise ValueError(f"scheduler returned unexpected command {cmd!r}")
+
+    # -- telemetry -----------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this channel's instruments under ``prefix``.
+
+        Sampled gauges are all command-driven (they change only when a
+        DRAM command executes, which never happens inside a quiescent
+        fast-forward window), so the interval sampler reads identical
+        values in skip and no-skip runs.  The per-cycle occupancy
+        accumulators (``queue_occupancy_sum``/``queue_samples``) are
+        settled lazily by :meth:`account_idle` and are deliberately NOT
+        sampled.
+        """
+        stats = self.stats
+        registry.histogram(f"{prefix}.crit_wait", stats.crit_wait)
+        registry.histogram(f"{prefix}.noncrit_wait", stats.noncrit_wait)
+        registry.gauge(f"{prefix}.read_queue",
+                       lambda: len(self.read_queue), sampled=True)
+        registry.gauge(f"{prefix}.write_queue",
+                       lambda: len(self.write_queue), sampled=True)
+        registry.gauge(f"{prefix}.reads_done",
+                       lambda: stats.reads_done, sampled=True)
+        registry.gauge(f"{prefix}.row_hit_reads",
+                       lambda: stats.row_hit_reads, sampled=True)
+        registry.gauge(f"{prefix}.writes_done", lambda: stats.writes_done)
+        registry.gauge(f"{prefix}.activates", lambda: stats.activates)
+        registry.gauge(f"{prefix}.precharges", lambda: stats.precharges)
+        registry.gauge(f"{prefix}.refreshes", lambda: stats.refreshes)
+        self.scheduler.register_metrics(registry, f"{prefix}.sched")
 
 
 class MemorySystem:

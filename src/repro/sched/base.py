@@ -20,9 +20,31 @@ class Scheduler:
 
     name = "base"
 
+    # Telemetry counters, installed by register_metrics (class-level None
+    # defaults keep directly-constructed schedulers — tests, tools —
+    # working without a registry).
+    _m_decisions = None
+    _m_idles = None
+
     def select(self, candidates, controller, now):
         """Pick one of ``candidates`` to issue at DRAM cycle ``now``."""
         raise NotImplementedError
+
+    # -- telemetry ----------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register decision counters under ``prefix`` (called per channel)."""
+        self._m_decisions = registry.counter(f"{prefix}.decisions")
+        self._m_idles = registry.counter(f"{prefix}.idles")
+
+    def note_decision(self, chosen) -> None:
+        """Controller callback: one :meth:`select` outcome (None = idled)."""
+        if self._m_decisions is None:
+            return
+        if chosen is None:
+            self._m_idles.add()
+        else:
+            self._m_decisions.add()
 
     # -- open-page precharge policy -----------------------------------------
 

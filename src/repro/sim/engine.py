@@ -10,9 +10,12 @@ in-process.  Every run records wall-clock observability on its result
 Cache keys are content hashes: the canonical JSON of the spec (workload,
 scheduler and kwargs, provider spec, full machine config, scale, slot)
 plus a hash of the simulator's own source files, so editing the model
-invalidates every cached result automatically.  Since the fast-forwarding
-loop is bit-identical to the naive loop, the skip setting is deliberately
-*not* part of the key.
+invalidates every cached result automatically.  The telemetry
+configuration fingerprint (sampling interval, trace on/off and capacity)
+is part of the key too: a run cached without sampling must not satisfy a
+request that expects time-series on the result.  Since the
+fast-forwarding loop is bit-identical to the naive loop, the skip
+setting is deliberately *not* part of the key.
 
 Environment knobs:
 
@@ -36,6 +39,7 @@ from pathlib import Path
 
 from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
 from repro.sim.stats import SimResult
+from repro.telemetry import config_fingerprint as _telemetry_fingerprint
 
 #: Per-run observability records (append-only): dicts with label, key,
 #: source ("run" | "disk"), wall_s, cycles, and cycles_per_sec.  Clear
@@ -132,6 +136,7 @@ def spec_key(spec: RunSpec) -> str:
             "scale": _canon(spec.scale),
             "scheduler_kwargs": _canon(spec.scheduler_kwargs or {}),
             "slot": spec.slot,
+            "telemetry": _canon(_telemetry_fingerprint()),
             "code": code_version(),
         },
         sort_keys=True,

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.registry import LatencyHistogram
+
 
 @dataclass
 class SimResult:
@@ -30,6 +32,17 @@ class SimResult:
     det_chain: int | None = None
     #: Periodic ``(cycle, digest)`` checkpoints for divergence localisation.
     det_checkpoints: list = field(default_factory=list)
+    #: Plain-data snapshot of every registered instrument at end of run
+    #: (see :mod:`repro.telemetry.registry`).
+    metrics: dict = field(default_factory=dict)
+    #: Interval-sampler output (``REPRO_SAMPLE_EVERY``): the sampled
+    #: virtual cycles and, per instrument name, the value series.
+    sample_cycles: list = field(default_factory=list)
+    timeseries: dict = field(default_factory=dict)
+    #: Event-trace ring buffer contents (``REPRO_TRACE=1``) as raw tuples
+    #: (see :mod:`repro.telemetry.trace`), plus the drop-oldest count.
+    trace_events: list = field(default_factory=list)
+    trace_dropped: int = 0
 
     @property
     def cycles_per_second(self) -> float:
@@ -82,6 +95,8 @@ def _freeze(value):
         return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v) for v in value)
+    if isinstance(value, LatencyHistogram):
+        return value.state()
     return value
 
 
@@ -115,6 +130,11 @@ def result_fingerprint(result: SimResult):
         tuple(_stat_items(s) for s in result.core_stats),
         tuple(_stat_items(c) for c in result.channels),
         _stat_items(result.hierarchy),
+        _freeze(result.metrics),
+        tuple(result.sample_cycles),
+        _freeze(result.timeseries),
+        tuple(result.trace_events),
+        result.trace_dropped,
     )
 
 

@@ -11,6 +11,7 @@ from repro.dram.controller import MemorySystem
 from repro.sched.registry import make_scheduler_factory
 from repro.sim.events import EventQueue
 from repro.sim.stats import SimResult
+from repro.telemetry import Telemetry
 
 # Sentinel "wake cycle" for cores quiescent until externally woken.
 _FOREVER = 1 << 62
@@ -90,6 +91,23 @@ class System:
             ranges = getattr(trace, "prewarm", None)
             if ranges:
                 self.hierarchy.prewarm(core_id, ranges)
+        # Telemetry spine: every component registers its instruments into
+        # one registry; the sampler and event trace attach only when their
+        # environment knobs enable them (see repro.telemetry).
+        self.telemetry = Telemetry.from_env()
+        registry = self.telemetry.registry
+        self.hierarchy.register_metrics(registry, "hier")
+        for channel in self.memory.channels:
+            channel.register_metrics(registry, f"chan{channel.channel_id}")
+        for core in self.cores:
+            core.register_metrics(registry, f"core{core.core_id}")
+        self.telemetry.bind_sampler()
+        recorder = self.telemetry.trace
+        if recorder is not None:
+            for core in self.cores:
+                core.tracer = recorder
+            for channel in self.memory.channels:
+                channel.trace = recorder
 
     def run(
         self, max_cycles: int | None = None, skip_cycles: bool = True
@@ -118,6 +136,11 @@ class System:
         every = detchain.interval()
         chain = detchain.DetChain(every) if every else None
         next_sample = every
+        # Interval sampler: like the hash-chain, sample points live on the
+        # virtual cycle axis, so folding due points inside fast-forward
+        # windows (where every sampled instrument is constant) yields the
+        # exact stream the naive loop produces.
+        sampler = self.telemetry.sampler
         while remaining:
             if max_cycles is not None and now >= max_cycles:
                 hit_cap = True
@@ -171,6 +194,8 @@ class System:
                 while next_sample < nxt:
                     chain.sample(next_sample, state)
                     next_sample += every
+            if sampler is not None:
+                sampler.sample_upto(nxt)
             self._now = now = nxt
         for core in cores:
             if not core.done:
@@ -181,6 +206,7 @@ class System:
 
         if chain is not None:
             chain.finalize(now, detchain.snapshot(self))
+        recorder = self.telemetry.trace
         result = SimResult(
             label=self.label,
             cycles=now,
@@ -193,5 +219,14 @@ class System:
             hit_max_cycles=hit_cap,
             det_chain=chain.digest if chain is not None else None,
             det_checkpoints=chain.checkpoints if chain is not None else [],
+            metrics=self.telemetry.registry.snapshot(),
+            sample_cycles=list(sampler.cycles) if sampler is not None else [],
+            timeseries=(
+                {name: list(series) for name, series in sampler.series.items()}
+                if sampler is not None
+                else {}
+            ),
+            trace_events=list(recorder.events) if recorder is not None else [],
+            trace_dropped=recorder.dropped if recorder is not None else 0,
         )
         return result

@@ -1,0 +1,215 @@
+"""Typed instruments and the per-system metric registry.
+
+Three instrument kinds cover everything the simulator measures:
+
+* :class:`Counter` — a monotonic integer, bumped on events (commands
+  issued, scheduler decisions).
+* :class:`Gauge` — a zero-state view over live state (queue length) or an
+  existing counter attribute; reads go through a callable so the gauge
+  never duplicates (and can never desynchronise from) the source.
+* :class:`LatencyHistogram` — fixed power-of-two integer-cycle buckets
+  with exact ``total``/``count``/``max``/``min``, so means are
+  bit-identical to the summed counters they replace while p50/p90/p99
+  and tail shape become visible.
+
+A :class:`MetricRegistry` is created per :class:`~repro.sim.system.System`;
+components register their instruments under dotted names
+(``chan0.read_queue``, ``hier.crit_latency``) during construction.  The
+registry is the single naming spine the interval sampler, the CLI
+``stats`` renderer, and ``SimResult.metrics`` all consume.
+
+Determinism contract: every registered value must be *window-constant* —
+unchanged during quiescent fast-forward windows — before it may be
+marked ``sampled=True``, because the interval sampler reads it at
+virtual-cycle points inside skipped windows (see
+:mod:`repro.telemetry.sampler`).  Counters bumped from lazily-settled
+per-cycle stats (``blocked_cycles`` et al.) must therefore never be
+sampled, only snapshotted at end of run.
+"""
+
+from __future__ import annotations
+
+#: Bucket count: bucket ``i`` holds values with ``bit_length() == i``
+#: (bucket 0 holds exactly 0), so bucket upper bounds are ``2**i - 1``.
+#: 48 buckets cover every latency a 2**48-cycle run could produce.
+HISTOGRAM_BUCKETS = 48
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def read(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A read-through view: ``read()`` evaluates the bound callable."""
+
+    __slots__ = ("fn",)
+    kind = "gauge"
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def read(self):
+        return self.fn()
+
+
+class LatencyHistogram:
+    """Fixed-bucket integer latency distribution.
+
+    Buckets are powers of two (`bit_length` indexing), so recording is a
+    few integer operations and the bucket layout is identical for every
+    run — a precondition for folding histogram state into result
+    fingerprints and the determinism hash-chain.  ``total`` and ``count``
+    are exact, so ``mean`` reproduces the old hand-rolled ``sum/count``
+    statistics bit for bit; percentiles are bucket upper bounds
+    (conservative, deterministic integers).
+    """
+
+    __slots__ = ("counts", "count", "total", "max", "min")
+    kind = "histogram"
+
+    def __init__(self):
+        self.counts = [0] * HISTOGRAM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self.min = -1
+
+    def record(self, value: int) -> None:
+        idx = value.bit_length() if value > 0 else 0
+        if idx >= HISTOGRAM_BUCKETS:
+            idx = HISTOGRAM_BUCKETS - 1
+        self.counts[idx] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if self.min < 0 or value < self.min:
+            self.min = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: int) -> int:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        ``p`` is an integer in (0, 100]; arithmetic is pure-integer so
+        the answer is deterministic across platforms.
+        """
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if not self.count:
+            return 0
+        rank = max(1, (p * self.count + 99) // 100)
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                return (1 << i) - 1 if i else 0
+        return (1 << HISTOGRAM_BUCKETS) - 1  # unreachable
+
+    def state(self) -> tuple:
+        """Hashable exact state (for fingerprints and the det-chain)."""
+        occupied = tuple(
+            (i, n) for i, n in enumerate(self.counts) if n
+        )
+        return (occupied, self.count, self.total, self.max, self.min)
+
+    def summary(self) -> dict:
+        """Snapshot dict for reports: count, mean, tail percentiles, and
+        the occupied ``(bucket_index, n)`` pairs for shape rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+            "min": self.min if self.min >= 0 else 0,
+            "buckets": [[i, n] for i, n in enumerate(self.counts) if n],
+        }
+
+    def read(self) -> dict:
+        return self.summary()
+
+    def __repr__(self):
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.1f}, "
+            f"p99={self.percentile(99) if self.count else 0}, max={self.max})"
+        )
+
+
+class MetricRegistry:
+    """Dotted-name registry of instruments for one simulated system."""
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+        self._sampled: list[str] = []
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, instrument, sampled: bool = False):
+        if name in self._instruments:
+            raise ValueError(f"instrument {name!r} already registered")
+        if sampled and instrument.kind == "histogram":
+            raise ValueError(
+                f"{name!r}: sample a histogram via gauges over its "
+                f"count/total, not the histogram itself"
+            )
+        self._instruments[name] = instrument
+        if sampled:
+            self._sampled.append(name)
+        return instrument
+
+    def counter(self, name: str, sampled: bool = False) -> Counter:
+        return self.register(name, Counter(), sampled=sampled)
+
+    def gauge(self, name: str, fn, sampled: bool = False) -> Gauge:
+        return self.register(name, Gauge(fn), sampled=sampled)
+
+    def histogram(
+        self, name: str, hist: LatencyHistogram | None = None
+    ) -> LatencyHistogram:
+        return self.register(name, hist if hist is not None else LatencyHistogram())
+
+    # -- reading ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def read(self, name: str):
+        return self._instruments[name].read()
+
+    def names(self) -> list[str]:
+        return list(self._instruments)
+
+    def sampled_items(self) -> list[tuple[str, object]]:
+        """(name, instrument) pairs flagged for interval sampling."""
+        return [(name, self._instruments[name]) for name in self._sampled]
+
+    def histograms(self) -> list[tuple[str, LatencyHistogram]]:
+        return [
+            (name, inst)
+            for name, inst in self._instruments.items()
+            if inst.kind == "histogram"
+        ]
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot of every instrument (picklable, hashable
+        after :func:`repro.sim.stats._freeze`)."""
+        return {name: inst.read() for name, inst in self._instruments.items()}

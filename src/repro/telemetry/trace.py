@@ -1,0 +1,218 @@
+"""Opt-in event trace: bounded ring buffer + Chrome ``trace_event`` export.
+
+Enabled with ``REPRO_TRACE=1`` (capacity ``REPRO_TRACE_CAP``, default
+65536 events, drop-oldest).  Three event families are recorded, all at
+cycles the fast-forwarding loop provably steps, so the trace stream is
+bit-identical between skip and no-skip runs:
+
+* DRAM commands (ACT/PRE/READ/WRITE/REF) from every channel controller;
+* ROB-head block episodes (a DRAM-bound load stalling commit, measured
+  start -> commit);
+* CBP criticality predictions attached to issued loads.
+
+Raw events are compact tuples on ``SimResult.trace_events``; exporters
+render them as JSONL or as Chrome ``trace_event`` JSON
+(``python -m repro trace app --out timeline.json``), one process lane
+per channel and per core, one thread lane per bank — loadable in
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+#: Raw-event tags (first tuple element).
+CMD, BLOCK, PRED = "cmd", "block", "pred"
+
+_DEFAULT_CAP = 65536
+
+
+def enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0")
+
+
+def capacity() -> int:
+    raw = os.environ.get("REPRO_TRACE_CAP", "")
+    if not raw:
+        return _DEFAULT_CAP
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRACE_CAP must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_TRACE_CAP must be positive, got {value}")
+    return value
+
+
+class TraceRecorder:
+    """Bounded drop-oldest ring buffer of simulator events.
+
+    All timestamps are CPU cycles (DRAM-domain recorders convert at the
+    call site), so every lane shares one time axis.
+    """
+
+    __slots__ = ("events", "capacity", "dropped")
+
+    def __init__(self, cap: int | None = None):
+        self.capacity = cap if cap is not None else capacity()
+        self.events: deque = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def _push(self, event: tuple) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    # -- recording hooks ----------------------------------------------------
+
+    def command(self, ts, channel, rank, bank, kind, row, dur) -> None:
+        """One DRAM command executed (ts/dur already in CPU cycles)."""
+        self._push((CMD, ts, channel, rank, bank, kind, row, dur))
+
+    def block_episode(self, start, core, pc, dur) -> None:
+        """A DRAM-bound load blocked the ROB head for ``dur`` cycles."""
+        self._push((BLOCK, start, core, pc, dur))
+
+    def prediction(self, ts, core, pc, magnitude) -> None:
+        """The criticality provider flagged an issued load as critical."""
+        self._push((PRED, ts, core, pc, magnitude))
+
+
+# ------------------------------------------------------------------ export
+
+
+def _event_dicts(events):
+    """Raw tuples -> uniform dicts (shared by JSONL and Chrome export)."""
+    for event in events:
+        tag = event[0]
+        if tag == CMD:
+            _, ts, channel, rank, bank, kind, row, dur = event
+            yield {"type": "dram_command", "ts": ts, "channel": channel,
+                   "rank": rank, "bank": bank, "kind": kind, "row": row,
+                   "dur": dur}
+        elif tag == BLOCK:
+            _, ts, core, pc, dur = event
+            yield {"type": "rob_block", "ts": ts, "core": core, "pc": pc,
+                   "dur": dur}
+        elif tag == PRED:
+            _, ts, core, pc, magnitude = event
+            yield {"type": "cbp_prediction", "ts": ts, "core": core,
+                   "pc": pc, "magnitude": magnitude}
+        else:
+            raise ValueError(f"unknown trace event tag {tag!r}")
+
+
+def to_jsonl(events) -> str:
+    """One JSON object per raw event, newline-delimited."""
+    return "".join(
+        json.dumps(d, sort_keys=True) + "\n" for d in _event_dicts(events)
+    )
+
+
+def to_chrome_trace(events, label: str = "repro") -> dict:
+    """Chrome ``trace_event`` document (JSON-serialisable dict).
+
+    Lanes: pid ``1 + channel`` per DRAM channel (tid = rank*32 + bank),
+    pid ``1000 + core`` per core (tid 0 = ROB, tid 1 = CBP).  Timestamps
+    are CPU cycles rendered as microseconds (1 cycle == 1 "us"), which
+    Perfetto displays fine and keeps the numbers readable.
+    """
+    trace_events: list[dict] = []
+    named_pids: dict[int, str] = {}
+    named_tids: dict[tuple[int, int], str] = {}
+
+    for event in events:
+        tag = event[0]
+        if tag == CMD:
+            _, ts, channel, rank, bank, kind, row, dur = event
+            pid = 1 + channel
+            tid = rank * 32 + bank
+            named_pids.setdefault(pid, f"DRAM channel {channel}")
+            named_tids.setdefault((pid, tid), f"rank {rank} bank {bank}")
+            trace_events.append({
+                "name": f"{kind} row={row}", "cat": "dram", "ph": "X",
+                "ts": ts, "dur": max(1, dur), "pid": pid, "tid": tid,
+                "args": {"kind": kind, "row": row},
+            })
+        elif tag == BLOCK:
+            _, ts, core, pc, dur = event
+            pid = 1000 + core
+            named_pids.setdefault(pid, f"core {core}")
+            named_tids.setdefault((pid, 0), "ROB head")
+            trace_events.append({
+                "name": f"ROB block pc={pc:#x}", "cat": "core", "ph": "X",
+                "ts": ts, "dur": max(1, dur), "pid": pid, "tid": 0,
+                "args": {"pc": pc, "stall": dur},
+            })
+        elif tag == PRED:
+            _, ts, core, pc, magnitude = event
+            pid = 1000 + core
+            named_pids.setdefault(pid, f"core {core}")
+            named_tids.setdefault((pid, 1), "CBP predictions")
+            trace_events.append({
+                "name": f"critical pc={pc:#x}", "cat": "cbp", "ph": "i",
+                "ts": ts, "pid": pid, "tid": 1, "s": "t",
+                "args": {"pc": pc, "magnitude": magnitude},
+            })
+        else:
+            raise ValueError(f"unknown trace event tag {tag!r}")
+
+    metadata: list[dict] = []
+    for pid, name in sorted(named_pids.items()):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+    for (pid, tid), name in sorted(named_tids.items()):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": label, "clock": "cpu-cycles"},
+    }
+
+
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema check used by CI and tests; returns a list of problems."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing name")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant event missing scope")
+    return problems

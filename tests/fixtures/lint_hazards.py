@@ -9,6 +9,7 @@ Do NOT "fix" these; they are the test vectors.
 """
 
 import datetime
+import os
 import random
 import time
 
@@ -33,6 +34,19 @@ def set_order_decision(pending):
     for txn in ready:
         return txn
     return None
+
+
+def environ_order_decision():
+    # DET004: os.environ's order reflects process history, not the run.
+    for key in os.environ:
+        return key
+    return None
+
+
+def shared_default_history(event, history=[]):
+    # ARG001: the default list is evaluated once and shared across calls.
+    history.append(event)
+    return history
 
 
 def float_cycles(total, banks):

@@ -123,8 +123,8 @@ class TestCriticalityPropagation:
         h.complete(d1)
         h.complete(d2)
         s = h.hier.stats
-        assert s.crit_latency_n == 1
-        assert s.noncrit_latency_n == 1
+        assert s.crit_latency.count == 1
+        assert s.noncrit_latency.count == 1
         assert s.mean_latency(True) > 0
 
     def test_per_pc_latency_recorded(self):

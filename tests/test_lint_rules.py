@@ -146,6 +146,122 @@ class TestSetIteration:
         """)
 
 
+class TestDictOrder:
+    def test_os_environ_for_loop(self):
+        assert "DET004" in rules_hit("""
+            import os
+
+            def first_key():
+                for key in os.environ:
+                    return key
+        """)
+
+    def test_environ_items_view(self):
+        assert "DET004" in rules_hit("""
+            import os
+
+            def pairs():
+                return [(k, v) for k, v in os.environ.items()]
+        """)
+
+    def test_from_import_environ(self):
+        assert "DET004" in rules_hit("""
+            from os import environ
+
+            def keys():
+                return [k for k in environ]
+        """)
+
+    def test_vars_and_dict_views(self):
+        hits = rules_hit("""
+            def dump(obj):
+                for name in vars(obj):
+                    yield name
+                for name, value in obj.__dict__.items():
+                    yield name, value
+        """)
+        assert "DET004" in hits
+
+    def test_globals_iteration(self):
+        assert "DET004" in rules_hit("""
+            def names():
+                return [n for n in globals()]
+        """)
+
+    def test_sorted_wrapping_is_clean(self):
+        assert "DET004" not in rules_hit("""
+            import os
+
+            def first_key(obj):
+                for key in sorted(os.environ):
+                    return key
+                for name in sorted(vars(obj)):
+                    return name
+        """)
+
+    def test_ordinary_dict_iteration_is_clean(self):
+        assert "DET004" not in rules_hit("""
+            def drain(queues):
+                for name, queue in queues.items():
+                    yield name, len(queue)
+        """)
+
+    def test_name_bound_dict_view_is_clean(self):
+        # Direct-iteration rule only: a __dict__ view bound to a name and
+        # then sorted (the sim/stats.py idiom) must stay clean.
+        assert "DET004" not in rules_hit("""
+            def freeze(obj):
+                items = obj.__dict__.items()
+                return tuple(sorted((k, v) for k, v in items))
+        """)
+
+
+class TestMutableDefault:
+    def test_list_literal_default(self):
+        assert "ARG001" in rules_hit("""
+            def record(value, log=[]):
+                log.append(value)
+                return log
+        """)
+
+    def test_dict_and_set_defaults(self):
+        hits = rules_hit("""
+            def tally(key, counts={}, seen=set()):
+                counts[key] = counts.get(key, 0) + 1
+                seen.add(key)
+        """)
+        assert "ARG001" in hits
+
+    def test_constructor_call_default(self):
+        assert "ARG001" in rules_hit("""
+            from collections import deque
+
+            def buffer(item, ring=deque()):
+                ring.append(item)
+        """)
+
+    def test_kwonly_default(self):
+        assert "ARG001" in rules_hit("""
+            def run(*, hooks=[]):
+                return hooks
+        """)
+
+    def test_none_default_is_clean(self):
+        assert "ARG001" not in rules_hit("""
+            def record(value, log=None):
+                if log is None:
+                    log = []
+                log.append(value)
+                return log
+        """)
+
+    def test_immutable_defaults_are_clean(self):
+        assert "ARG001" not in rules_hit("""
+            def make(a=0, b="x", c=(1, 2), d=None, e=frozenset()):
+                return a, b, c, d, e
+        """)
+
+
 class TestFloatCycle:
     def test_true_division_into_cycle_name(self):
         assert "FLT001" in rules_hit("""

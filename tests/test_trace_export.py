@@ -1,0 +1,123 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import (
+    TraceRecorder,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+
+
+def _sample_recorder():
+    t = TraceRecorder(cap=64)
+    t.command(36, 0, 0, 3, "ACT", 84, 56)
+    t.command(92, 0, 0, 3, "READ", 84, 16)
+    t.command(40, 1, 1, 5, "PRE", 12, 40)
+    t.command(200, 0, 0, 0, "REF", -1, 560)
+    t.block_episode(120, 2, 0x4F0, 95)
+    t.prediction(118, 2, 0x4F0, 3)
+    return t
+
+
+class TestJsonl:
+    def test_one_object_per_event(self):
+        text = to_jsonl(_sample_recorder().events)
+        lines = text.strip().splitlines()
+        assert len(lines) == 6
+        objs = [json.loads(line) for line in lines]
+        kinds = [o["type"] for o in objs]
+        assert kinds.count("dram_command") == 4
+        assert kinds.count("rob_block") == 1
+        assert kinds.count("cbp_prediction") == 1
+        block = next(o for o in objs if o["type"] == "rob_block")
+        assert block == {"type": "rob_block", "ts": 120, "core": 2,
+                         "pc": 0x4F0, "dur": 95}
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError, match="unknown trace event tag"):
+            to_jsonl([("bogus", 1, 2)])
+
+
+class TestChromeTrace:
+    def test_document_validates(self):
+        doc = to_chrome_trace(_sample_recorder().events, label="unit")
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["source"] == "unit"
+        json.dumps(doc)  # must be serialisable
+
+    def test_lane_assignment(self):
+        doc = to_chrome_trace(_sample_recorder().events)
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        act = next(e for e in events if e["name"].startswith("ACT"))
+        assert act["pid"] == 1 and act["tid"] == 3  # channel 0, rank 0 bank 3
+        pre = next(e for e in events if e["name"].startswith("PRE"))
+        assert pre["pid"] == 2 and pre["tid"] == 1 * 32 + 5
+        block = next(e for e in events if "ROB block" in e["name"])
+        assert block["pid"] == 1002 and block["tid"] == 0
+        pred = next(e for e in events if e["ph"] == "i")
+        assert pred["pid"] == 1002 and pred["tid"] == 1
+        assert pred["s"] == "t"
+
+    def test_metadata_names_every_lane(self):
+        doc = to_chrome_trace(_sample_recorder().events)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["pid"]: e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        assert process_names[1] == "DRAM channel 0"
+        assert process_names[2] == "DRAM channel 1"
+        assert process_names[1002] == "core 2"
+        thread_names = {(e["pid"], e["tid"]): e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert thread_names[(1, 3)] == "rank 0 bank 3"
+        assert thread_names[(1002, 1)] == "CBP predictions"
+
+    def test_zero_duration_commands_render_visible(self):
+        t = TraceRecorder(cap=4)
+        t.command(10, 0, 0, 0, "READ", 5, 0)
+        doc = to_chrome_trace(t.events)
+        read = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert read["dur"] >= 1
+
+
+class TestValidator:
+    def test_flags_structural_problems(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+        assert validate_chrome_trace({}) == ["missing traceEvents list"]
+        assert "traceEvents is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+
+    def test_flags_bad_events(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1},  # no name
+            {"name": "a", "ph": "Q", "pid": 1, "tid": 1},         # bad phase
+            {"name": "b", "ph": "X", "pid": "x", "tid": 1,
+             "ts": 0, "dur": 1},                                   # bad pid
+            {"name": "c", "ph": "X", "pid": 1, "tid": 1,
+             "ts": -5, "dur": 1},                                  # bad ts
+            {"name": "d", "ph": "X", "pid": 1, "tid": 1, "ts": 0},  # no dur
+            {"name": "e", "ph": "i", "pid": 1, "tid": 1, "ts": 0},  # no scope
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert len(problems) == 6
+
+    def test_end_to_end_run_produces_valid_trace(self, monkeypatch):
+        from repro.config import SimScale
+        from repro.sim.runner import run_parallel_workload
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        scale = SimScale(instructions_per_core=600, warmup_instructions=0,
+                         seed=3)
+        result = run_parallel_workload("fft", scale=scale)
+        assert result.trace_events
+        doc = to_chrome_trace(result.trace_events, label=result.label)
+        assert validate_chrome_trace(doc) == []
+        kinds = {e[5] for e in result.trace_events if e[0] == "cmd"}
+        assert "ACT" in kinds and "READ" in kinds

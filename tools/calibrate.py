@@ -27,16 +27,16 @@ def describe(app, scale=None):
     ch = base.channels[0]
     dram_cycles = base.cycles / 4
     bus_util = (ch.reads_done + ch.writes_done) * 4 / dram_cycles
+    crit_n = hc.crit_latency.count
+    noncrit_n = hc.noncrit_latency.count
     crit_frac = (
-        hc.crit_latency_n / (hc.crit_latency_n + hc.noncrit_latency_n)
-        if (hc.crit_latency_n + hc.noncrit_latency_n)
-        else 0.0
+        crit_n / (crit_n + noncrit_n) if (crit_n + noncrit_n) else 0.0
     )
     def wait(res):
         cs = ns = cn = nn = 0
         for c in res.channels:
-            cs += c.crit_wait_sum; cn += c.crit_wait_n
-            ns += c.noncrit_wait_sum; nn += c.noncrit_wait_n
+            cs += c.crit_wait.total; cn += c.crit_wait.count
+            ns += c.noncrit_wait.total; nn += c.noncrit_wait.count
         return (cs / cn if cn else 0, ns / nn if nn else 0, cn, nn)
 
     bw = wait(base)
