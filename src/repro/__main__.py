@@ -5,6 +5,7 @@
     python -m repro experiment fig4 [--markdown] [--csv]
     python -m repro experiment all             # regenerate everything
     python -m repro lint [paths...]            # simulator-specific AST lint
+    python -m repro analyze [paths...]         # whole-program semantic analysis
     python -m repro check-determinism fft      # cross-mode/-process chains
     python -m repro stats fft --sample-every 256   # telemetry summaries
     python -m repro trace fft --out timeline.json  # Chrome/Perfetto trace
@@ -115,6 +116,19 @@ def _cmd_lint(args) -> int:
     if args.show_suppressed:
         argv.append("--show-suppressed")
     return lint_main(argv)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.semantic import main as analyze_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.select:
+        argv += ["--select", args.select]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return analyze_main(argv)
 
 
 def _cmd_check_determinism(args) -> int:
@@ -268,6 +282,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--list-rules", action="store_true")
     lint_p.add_argument("--show-suppressed", action="store_true")
 
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="run the whole-program semantic analyzer (cycle domains, "
+             "det-state coverage, scheduler contracts)",
+    )
+    analyze_p.add_argument("paths", nargs="*",
+                           help="files or directories (default: src/repro)")
+    analyze_p.add_argument("--select", default=None, metavar="IDS",
+                           help="comma-separated rule ids to run")
+    analyze_p.add_argument("--list-rules", action="store_true")
+    analyze_p.add_argument("--show-suppressed", action="store_true")
+
     stats_p = sub.add_parser(
         "stats", help="run one workload and print telemetry summaries"
     )
@@ -325,6 +351,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "check-determinism": _cmd_check_determinism,

@@ -29,10 +29,15 @@ EXC002     silent exception handler (body is only ``pass``/``...``) —
            drops errors without a trace
 =========  ================================================================
 
-Suppression: append ``# repro-lint: disable=RULE[,RULE...]`` (or
+Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
 ``disable=all``) to the offending line, or put it on its own line
-directly above; anything after the rule list is treated as rationale.
-Suppressions are counted and reported so they stay auditable.
+directly above; ``# repro-lint: disable-file=<rule>[,...]`` in the
+module header silences a rule file-wide.  Anything after the rule list is
+treated as rationale.  Suppressions are counted and reported so they
+stay auditable, and a suppression naming a rule id that no pass
+registers is itself an error (SUP001) — a typo'd suppression would
+otherwise silently stop suppressing.  The grammar is shared with the
+semantic analyzer (see :mod:`repro.analysis.suppress`).
 
 CLI: ``python -m repro lint [paths...]`` or ``tools/lint.py``; exits
 nonzero when any unsuppressed finding remains.
@@ -42,10 +47,11 @@ from __future__ import annotations
 
 import argparse
 import ast
-import re
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.analysis import suppress
 
 # --------------------------------------------------------------- findings
 
@@ -76,31 +82,6 @@ class LintReport:
     @property
     def ok(self) -> bool:
         return not self.findings and not self.errors
-
-
-# ----------------------------------------------------------- suppressions
-
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+|all)")
-
-
-def _suppressions(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule ids disabled on that line (by a trailing
-    comment or a standalone comment on the line directly above)."""
-    disabled: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if not match:
-            continue
-        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
-        disabled.setdefault(lineno, set()).update(rules)
-        if text.lstrip().startswith("#"):  # standalone: covers the next line
-            disabled.setdefault(lineno + 1, set()).update(rules)
-    return disabled
-
-
-def _is_suppressed(finding: Finding, disabled: dict[int, set[str]]) -> bool:
-    rules = disabled.get(finding.line)
-    return bool(rules) and ("ALL" in rules or finding.rule in rules)
 
 
 # ------------------------------------------------------------- rule base
@@ -705,6 +686,23 @@ class SilentHandlerRule(Rule):
         return findings
 
 
+class SuppressionHygieneRule(Rule):
+    """SUP001: suppression comment naming an unknown rule id.
+
+    A ``# repro-lint: disable=``/``disable-file=`` directive naming a
+    rule id that neither the lint pass nor the semantic analyzer
+    registers suppresses nothing — usually a typo or a leftover after a
+    rule rename — yet it reads as if the hazard were audited.  The stale
+    directive must name a real rule or be removed.
+    """
+
+    id = "SUP001"
+    title = "suppression names an unknown rule id"
+
+    def check_module(self, tree, path):
+        return []  # needs comment text, not the AST: driven by lint_source
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -716,6 +714,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SchedulerInterfaceRule(),
     BareExceptRule(),
     SilentHandlerRule(),
+    SuppressionHygieneRule(),
 )
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
@@ -734,11 +733,25 @@ def lint_source(
     except SyntaxError as exc:
         report.errors.append(f"{path}: syntax error: {exc}")
         return report
-    disabled = _suppressions(source)
+    disabled = suppress.parse_suppressions(source)
     rules = [RULES_BY_ID[r] for r in sorted(select)] if select else ALL_RULES
     for rule in rules:
         for finding in rule.check_module(tree, path):
-            if _is_suppressed(finding, disabled):
+            if disabled.disabled(finding.line, finding.rule):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    if select is None or suppress.SUP001 in select:
+        known = suppress.known_rule_ids()
+        for line, name in disabled.unknown_mentions(known):
+            finding = Finding(
+                rule=suppress.SUP001, path=path, line=line, col=0,
+                message=(
+                    f"suppression names unknown rule {name!r}; no analysis "
+                    f"pass registers it, so nothing is being suppressed"
+                ),
+            )
+            if disabled.disabled(line, suppress.SUP001):
                 report.suppressed.append(finding)
             else:
                 report.findings.append(finding)

@@ -14,6 +14,8 @@ tRCD         ACTIVATE -> first CAS to the same bank
 tRC / tRAS   ACTIVATE -> ACTIVATE / ACTIVATE -> PRECHARGE, same bank
 tRP          PRECHARGE -> ACTIVATE, same bank
 tRRD         ACTIVATE -> ACTIVATE anywhere in the same rank
+tFAW         at most four ACTIVATEs to a rank in any rolling window
+             (``DramTimings.tFAW``, derived as ``4 * tRRD`` when unset)
 tCCD         CAS -> CAS anywhere on the channel
 tRTP         READ -> PRECHARGE, same bank
 tWR          write data end -> PRECHARGE, same bank (write recovery)
@@ -36,6 +38,7 @@ first offending command with both sides' timelines in the message.
 from __future__ import annotations
 
 import os
+from collections import deque
 
 from repro.config import DramConfig
 
@@ -92,6 +95,8 @@ class ProtocolSanitizer:
             for _ in range(ranks)
         ]
         self.rank_last_act = [_NEVER] * ranks
+        # Last four ACTIVATE issue cycles per rank (rolling tFAW window).
+        self.rank_act_window = [deque(maxlen=4) for _ in range(ranks)]
         self.rank_write_data_end = [_NEVER] * ranks
         self.rank_last_ref = [0] * ranks
         self.last_cas = _NEVER
@@ -139,6 +144,15 @@ class ProtocolSanitizer:
                           f"ACTIVATE of bank ({rank},{bank})")
         self._require_gap(now, self.rank_last_act[rank], t.tRRD, "tRRD",
                           f"ACTIVATE in rank {rank}")
+        window = self.rank_act_window[rank]
+        self.checks += 1
+        if len(window) == 4 and now < window[0] + t.effective_tFAW:
+            self._fail(
+                now,
+                f"tFAW violated: fifth ACTIVATE to rank {rank} only "
+                f"{now - window[0]} cycles after the ACTIVATE at "
+                f"{window[0]} (window {t.effective_tFAW})",
+            )
         self.checks += 1
         if now < shadow.blocked_until:
             self._fail(
@@ -149,6 +163,7 @@ class ProtocolSanitizer:
         shadow.open_row = row
         shadow.act_time = now
         self.rank_last_act[rank] = now
+        window.append(now)
 
     def on_cas(
         self,

@@ -1,0 +1,372 @@
+"""Scheduler contract verification (SEM020–SEM022).
+
+``repro.sched.base.Scheduler`` is a policy interface: the controller
+builds admissible candidate commands and the scheduler only *ranks*
+them.  Three contract clauses keep a policy from silently breaking the
+paper's comparison methodology, and each is checked statically here:
+
+SEM020
+    **Starvation/age guard on every issue path.**  The paper's
+    criticality schedulers bound queueing delay with a 6000-DRAM-cycle
+    starvation cap; every baseline breaks ties by age (``txn.seq`` /
+    ``arrival``).  A ``select`` path that can return a candidate
+    without consulting *any* age or starvation signal can starve
+    requests indefinitely.  Checked on the CFG: every path from entry
+    to a ``return <candidate>`` must pass a statement that mentions an
+    age token (``seq``, ``arrival``, ``starvation_cap``…) or calls a
+    helper (resolved through the MRO) that does.  A loop whose body
+    consults a guard counts as guarded — the zero-iteration path
+    returns the loop's empty-handed default, not an issued command.
+
+SEM021
+    **No direct bank/bus mutation.**  Schedulers observe controller
+    state and return a choice; issuing commands, popping queues or
+    touching bank timing is the controller's job (the only sanctioned
+    write-back is PAR-BS style ``txn.marked`` batch tagging).  Flags
+    stores and mutating calls on controller-rooted objects, including
+    through local aliases.
+
+SEM022
+    **Required overrides present.**  A concrete scheduler must provide
+    a real ``select`` (not inherit the base's raising stub) and a
+    ``name`` class attribute so the registry and result tables can
+    identify it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import Finding
+from repro.analysis.semantic import cfg as cfglib
+from repro.analysis.semantic.modgraph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleGraph,
+)
+
+SEM020 = "SEM020"
+SEM021 = "SEM021"
+SEM022 = "SEM022"
+
+#: Tokens whose appearance marks a statement as consulting an age or
+#: starvation signal.
+GUARD_TOKENS = {
+    "seq", "arrival", "starvation_cap", "starvation_cap_dram_cycles",
+    "oldest",
+}
+
+#: Attribute writes on foreign objects a scheduler is allowed to make.
+SANCTIONED_WRITES = {"marked"}
+
+#: Names that denote controller-owned objects inside scheduler methods.
+CONTROLLER_ROOTS = {"controller", "channel", "bank", "banks", "timing"}
+
+#: Methods that mutate DRAM model state when called.
+MUTATING_CALLS = {
+    "do_activate", "do_precharge", "do_read", "do_write", "block_until",
+    "did_activate", "did_cas", "enqueue", "append", "appendleft",
+    "extend", "insert", "remove", "pop", "popleft", "clear", "add",
+    "discard", "update", "setdefault", "sort", "reverse", "popitem",
+}
+
+
+def _is_scheduler(graph: ModuleGraph, cls: ClassInfo) -> bool:
+    return graph.is_subclass_of(cls, "Scheduler")
+
+
+def _is_interface_root(cls: ClassInfo) -> bool:
+    """The ``Scheduler`` base interface itself (not a subclass)."""
+    return cls.name == "Scheduler"
+
+
+def _is_abstract(cls: ClassInfo) -> bool:
+    return cls.name.startswith("_")
+
+
+def _raises_not_implemented(func: FunctionInfo) -> bool:
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id == "NotImplementedError":
+                return True
+    return False
+
+
+def _mentions_guard(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in GUARD_TOKENS:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in GUARD_TOKENS:
+            return True
+    return False
+
+
+class SchedulerContractPass:
+    """SEM020–SEM022: verify scheduler policies against the base contract."""
+
+    ids = (SEM020, SEM021, SEM022)
+
+    def run(self, graph: ModuleGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in graph.all_classes():
+            if not _is_scheduler(graph, cls) or _is_interface_root(cls):
+                continue
+            findings.extend(self._check_mutations(cls))
+            if _is_abstract(cls):
+                continue  # helpers defer select/_key to concrete subclasses
+            findings.extend(self._check_overrides(graph, cls))
+            findings.extend(self._check_starvation(graph, cls))
+        return findings
+
+    # ------------------------------------------------------------- SEM022
+
+    def _check_overrides(
+        self, graph: ModuleGraph, cls: ClassInfo
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        select = graph.lookup_method(cls, "select")
+        if select is None or (
+            select.cls is not None
+            and _is_interface_root(select.cls)
+            and _raises_not_implemented(select)
+        ):
+            findings.append(
+                Finding(
+                    rule=SEM022,
+                    path=cls.module.path,
+                    line=cls.node.lineno,
+                    col=cls.node.col_offset,
+                    message=(
+                        f"{cls.name} never overrides select(): the base "
+                        f"interface's stub raises at the first "
+                        f"scheduling decision"
+                    ),
+                )
+            )
+        if not any("name" in c.class_attrs for c in graph.mro(cls)):
+            findings.append(
+                Finding(
+                    rule=SEM022,
+                    path=cls.module.path,
+                    line=cls.node.lineno,
+                    col=cls.node.col_offset,
+                    message=(
+                        f"{cls.name} defines no `name` class attribute; "
+                        f"the registry and result tables cannot "
+                        f"identify it"
+                    ),
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------- SEM020
+
+    def _fn_consults_guard(
+        self,
+        graph: ModuleGraph,
+        cls: ClassInfo,
+        func: FunctionInfo,
+        seen: set[str],
+        depth: int = 3,
+    ) -> bool:
+        if func.qualname in seen or depth <= 0:
+            return False
+        seen.add(func.qualname)
+        if _mentions_guard(func.node):
+            return True
+        for node in ast.walk(func.node):
+            helper = self._self_call_target(graph, cls, node)
+            if helper is not None and self._fn_consults_guard(
+                graph, cls, helper, seen, depth - 1
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _self_call_target(
+        graph: ModuleGraph, cls: ClassInfo, node: ast.AST
+    ) -> FunctionInfo | None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            return graph.lookup_method(cls, node.func.attr)
+        return None
+
+    def _node_is_guard(
+        self, graph: ModuleGraph, cls: ClassInfo, node: cfglib.Node
+    ) -> bool:
+        stmt = node.stmt
+        if stmt is None:
+            return False
+        # Branch headers guard only through their test; loop headers
+        # count their whole body (the zero-iteration path exits the
+        # loop empty-handed, it does not issue).
+        probe: ast.AST = stmt
+        if node.kind == cfglib.BRANCH and isinstance(stmt, ast.If):
+            probe = stmt.test
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if _mentions_guard(probe):
+            return True
+        for sub in ast.walk(probe):
+            helper = self._self_call_target(graph, cls, sub)
+            if helper is not None and self._fn_consults_guard(
+                graph, cls, helper, set()
+            ):
+                return True
+        return False
+
+    def _check_starvation(
+        self, graph: ModuleGraph, cls: ClassInfo
+    ) -> list[Finding]:
+        select = graph.lookup_method(cls, "select")
+        if select is None or _raises_not_implemented(select):
+            return []  # SEM022 already reported the missing override
+        cfg = cfglib.build_cfg(select.node)
+        guards = {
+            node for node in cfg.nodes if self._node_is_guard(graph, cls, node)
+        }
+        unguarded = cfglib.reachable_avoiding(cfg, guards)
+        findings: list[Finding] = []
+        for ret in cfg.returns():
+            assert isinstance(ret.stmt, ast.Return)
+            value = ret.stmt.value
+            if value is None or (
+                isinstance(value, ast.Constant) and value.value is None
+            ):
+                continue  # returning "no command this cycle" never starves
+            if ret in unguarded and ret not in guards:
+                findings.append(
+                    Finding(
+                        rule=SEM020,
+                        path=select.module.path,
+                        line=ret.stmt.lineno,
+                        col=ret.stmt.col_offset,
+                        message=(
+                            f"{cls.name}.select() can issue a command "
+                            f"along a path that never consults an age or "
+                            f"starvation signal ({', '.join(sorted(GUARD_TOKENS))}); "
+                            f"the 6000-dram-cycle cap is not honored on "
+                            f"every issue path"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------- SEM021
+
+    def _controller_aliases(self, method: FunctionInfo) -> set[str]:
+        """Local names bound (anywhere in the method) to an expression
+        rooted at a controller-owned object."""
+        aliases = set(CONTROLLER_ROOTS)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self._rooted_in(node.value, aliases):
+                    continue
+                for target in node.targets:
+                    for name in self._plain_names(target):
+                        if name not in aliases:
+                            aliases.add(name)
+                            changed = True
+        return aliases
+
+    @staticmethod
+    def _plain_names(target: ast.AST) -> list[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names: list[str] = []
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    names.append(elt.id)
+            return names
+        return []
+
+    @staticmethod
+    def _rooted_in(node: ast.AST, roots: set[str]) -> bool:
+        """Does the expression's base name chain start at one of roots?"""
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute) and node.attr in roots:
+                return True
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in roots
+
+    def _check_mutations(self, cls: ClassInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for mname in sorted(cls.methods):
+            method = cls.methods[mname]
+            aliases = self._controller_aliases(method)
+            txn_roots = {"txn", "cand"}
+            for node in ast.walk(method.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if not isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ):
+                            continue
+                        attr = (
+                            target.attr
+                            if isinstance(target, ast.Attribute)
+                            else None
+                        )
+                        base = (
+                            target.value
+                            if isinstance(target, ast.Attribute)
+                            else target
+                        )
+                        if attr in SANCTIONED_WRITES:
+                            continue
+                        if self._rooted_in(base, aliases) or (
+                            attr not in (None,)
+                            and self._rooted_in(base, txn_roots)
+                        ):
+                            what = attr or "an element"
+                            findings.append(
+                                Finding(
+                                    rule=SEM021,
+                                    path=cls.module.path,
+                                    line=node.lineno,
+                                    col=node.col_offset,
+                                    message=(
+                                        f"{cls.name}.{mname}() writes "
+                                        f"{what!r} on controller/request "
+                                        f"state; schedulers rank "
+                                        f"candidates, the controller "
+                                        f"executes them"
+                                    ),
+                                )
+                            )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ) and node.func.attr in MUTATING_CALLS:
+                    if self._rooted_in(node.func.value, aliases):
+                        findings.append(
+                            Finding(
+                                rule=SEM021,
+                                path=cls.module.path,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                message=(
+                                    f"{cls.name}.{mname}() calls mutating "
+                                    f"{node.func.attr}() on controller "
+                                    f"state; issuing commands is the "
+                                    f"controller's job"
+                                ),
+                            )
+                        )
+        return findings

@@ -1,0 +1,286 @@
+"""Module graph loader: parse a project into a cross-module class index.
+
+The semantic passes need to answer questions a single-file AST cannot:
+"what class does ``CritCasRasScheduler`` inherit ``select`` from?",
+"which ``det_state`` methods exist anywhere in the program?".  This
+module parses every python file under the analysis roots, derives each
+file's dotted module name from its package position (walking up the
+``__init__.py`` chain, so a copied tree analyzes identically wherever it
+lives on disk), records import bindings, and indexes top-level classes
+and functions so bases can be resolved across modules and a static MRO
+linearized.
+
+The graph is purely syntactic — nothing is imported or executed — so it
+is safe to point the analyzer at fixture files that deliberately violate
+the simulator's contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: "ModuleInfo"
+    cls: "ClassInfo | None" = None
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs]
+        names += [a.arg for a in args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names += [a.arg for a in args.kwonlyargs]
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition."""
+
+    name: str
+    qualname: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    #: Base expressions as dotted strings (e.g. ``"Scheduler"``,
+    #: ``"base.Scheduler"``); non-name bases are dropped.
+    base_names: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Names assigned at class scope (class attributes).
+    class_attrs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: local alias -> dotted target (``from a.b import C as D`` maps
+    #: ``D -> "a.b.C"``; ``import a.b as m`` maps ``m -> "a.b"``).
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` expression -> ``"a.b.c"``; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    ``.../src/repro/dram/bank.py`` -> ``repro.dram.bank`` regardless of
+    where the tree sits on disk, because the walk stops at the first
+    ancestor directory without an ``__init__.py``.
+    """
+    path = path.resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def _resolve_relative(module: str, level: int, target: str | None) -> str:
+    """Absolute module named by a ``from ...x import y`` statement."""
+    base = module.split(".")
+    # Level 1 = current package: for a module ``a.b.c`` that is ``a.b``.
+    base = base[: len(base) - level] if level <= len(base) else []
+    if target:
+        base.append(target)
+    return ".".join(base)
+
+
+class ModuleGraph:
+    """Index of every module, class and function under the roots."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: qualified class name -> info, plus bare-name buckets for
+        #: tolerant resolution when imports can't be traced.
+        self.classes: dict[str, ClassInfo] = {}
+        self._by_bare_name: dict[str, list[ClassInfo]] = {}
+        self.errors: list[str] = []
+
+    # ------------------------------------------------------------ loading
+
+    @classmethod
+    def load(cls, files: list[Path]) -> "ModuleGraph":
+        graph = cls()
+        for path in files:
+            try:
+                source = path.read_text()
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError) as exc:
+                graph.errors.append(f"{path}: {exc}")
+                continue
+            graph._add_module(path, source, tree)
+        return graph
+
+    def _add_module(self, path: Path, source: str, tree: ast.Module) -> None:
+        name = module_name_for(path)
+        mod = ModuleInfo(name=name, path=str(path), source=source, tree=tree)
+        for node in tree.body:
+            self._collect(mod, node)
+        self.modules[name] = mod
+
+    def _collect(self, mod: ModuleInfo, node: ast.stmt) -> None:
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                alias = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                mod.imports[alias] = target
+        elif isinstance(node, ast.ImportFrom):
+            src = (
+                _resolve_relative(mod.name, node.level, node.module)
+                if node.level
+                else (node.module or "")
+            )
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                mod.imports[item.asname or item.name] = f"{src}.{item.name}"
+        elif isinstance(node, ast.ClassDef):
+            info = ClassInfo(
+                name=node.name,
+                qualname=f"{mod.name}.{node.name}",
+                node=node,
+                module=mod,
+            )
+            for base in node.bases:
+                dotted = _dotted(base)
+                if dotted:
+                    info.base_names.append(dotted)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[stmt.name] = FunctionInfo(
+                        name=stmt.name,
+                        qualname=f"{info.qualname}.{stmt.name}",
+                        node=stmt,
+                        module=mod,
+                        cls=info,
+                    )
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            info.class_attrs.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    info.class_attrs.add(stmt.target.id)
+            mod.classes[node.name] = info
+            self.classes[info.qualname] = info
+            self._by_bare_name.setdefault(node.name, []).append(info)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[node.name] = FunctionInfo(
+                name=node.name,
+                qualname=f"{mod.name}.{node.name}",
+                node=node,
+                module=mod,
+            )
+        elif isinstance(node, ast.If):
+            # TYPE_CHECKING / version guards: collect both arms.
+            for stmt in node.body + node.orelse:
+                self._collect(mod, stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body + node.finalbody:
+                self._collect(mod, stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._collect(mod, stmt)
+
+    # ---------------------------------------------------------- resolution
+
+    def resolve_class(self, mod: ModuleInfo, dotted: str) -> ClassInfo | None:
+        """Resolve a dotted name used in ``mod`` to a class in the graph."""
+        head, _, rest = dotted.partition(".")
+        candidates = []
+        if head in mod.imports:
+            candidates.append(
+                mod.imports[head] + ("." + rest if rest else "")
+            )
+        candidates.append(f"{mod.name}.{dotted}")
+        candidates.append(dotted)
+        for cand in candidates:
+            if cand in self.classes:
+                return self.classes[cand]
+        # Last resort: a unique bare name anywhere in the graph.  Covers
+        # re-exports (``from repro.sched import Scheduler`` via a
+        # package __init__) without tracing the chain.
+        bare = dotted.rsplit(".", 1)[-1]
+        bucket = self._by_bare_name.get(bare, [])
+        if len(bucket) == 1:
+            return bucket[0]
+        return None
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Static linearization: depth-first, keep-first, cycle-safe.
+
+        Not full C3, but faithful for the single-inheritance chains the
+        simulator uses; unresolvable bases are skipped silently.
+        """
+        order: list[ClassInfo] = []
+        seen: set[str] = set()
+
+        def visit(c: ClassInfo) -> None:
+            if c.qualname in seen:
+                return
+            seen.add(c.qualname)
+            order.append(c)
+            for base in c.base_names:
+                resolved = self.resolve_class(c.module, base)
+                if resolved is not None:
+                    visit(resolved)
+
+        visit(cls)
+        return order
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Resolve a method through the static MRO."""
+        for c in self.mro(cls):
+            if name in c.methods:
+                return c.methods[name]
+        return None
+
+    def is_subclass_of(self, cls: ClassInfo, bare_base: str) -> bool:
+        """Does any class named ``bare_base`` appear in the static MRO?"""
+        return any(c.name == bare_base for c in self.mro(cls))
+
+    def all_classes(self) -> list[ClassInfo]:
+        return [
+            self.classes[q] for q in sorted(self.classes)
+        ]
+
+    def all_functions(self) -> list[FunctionInfo]:
+        """Every function and method in the graph, sorted by qualname."""
+        out: list[FunctionInfo] = []
+        for mod_name in sorted(self.modules):
+            mod = self.modules[mod_name]
+            out.extend(mod.functions[k] for k in sorted(mod.functions))
+            for cls_name in sorted(mod.classes):
+                cls = mod.classes[cls_name]
+                out.extend(cls.methods[k] for k in sorted(cls.methods))
+        return out

@@ -1,0 +1,98 @@
+"""Shared suppression parsing for the lint and semantic analysis passes.
+
+Both ``repro.analysis.lint`` (per-line syntactic rules) and
+``repro.analysis.semantic`` (whole-program passes) honour the same
+comment grammar, so a finding from either tool is silenced the same way:
+
+``# repro-lint: disable=<rule>[,<rule>...]``
+    Trailing on the offending line, or on a standalone comment line
+    directly above it.  ``disable=all`` silences every rule.
+
+``# repro-lint: disable-file=<rule>[,<rule>...]``
+    File-wide: silences the listed rules everywhere in the file.
+    Conventionally placed in the module header (before the first
+    statement), but recognised on any standalone comment line.
+
+Anything after the rule list on the same comment is treated as
+rationale.  Rule names that are not registered by any pass are
+themselves reported (``SUP001``): a typo in a suppression would
+otherwise silently stop suppressing after a rule rename.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+|all)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,]+|all)")
+
+#: Rule id reported for unknown rule names inside suppression comments.
+SUP001 = "SUP001"
+
+
+def _split_rules(group: str) -> set[str]:
+    return {r.strip().upper() for r in group.split(",") if r.strip()}
+
+
+@dataclass
+class SuppressionMap:
+    """Parsed suppression directives for one source file."""
+
+    #: line number -> rule ids disabled on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file.
+    file_wide: set[str] = field(default_factory=set)
+    #: every ``(line, rule)`` mentioned by any directive, for auditing.
+    mentions: list[tuple[int, str]] = field(default_factory=list)
+
+    def disabled(self, line: int, rule: str) -> bool:
+        """Is ``rule`` suppressed at ``line``?"""
+        if "ALL" in self.file_wide or rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return bool(rules) and ("ALL" in rules or rule in rules)
+
+    def unknown_mentions(self, known: set[str]) -> list[tuple[int, str]]:
+        """``(line, rule)`` pairs naming rules no pass registers."""
+        return [
+            (line, rule)
+            for line, rule in self.mentions
+            if rule != "ALL" and rule not in known
+        ]
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Parse every suppression directive in ``source``.
+
+    A standalone line-level comment covers the next line as well as its
+    own; a trailing comment covers only its line.  File-level directives
+    apply everywhere regardless of position.
+    """
+    smap = SuppressionMap()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        fmatch = _FILE_RE.search(text)
+        if fmatch:
+            rules = _split_rules(fmatch.group(1))
+            smap.file_wide.update(rules)
+            smap.mentions.extend((lineno, rule) for rule in sorted(rules))
+        match = _LINE_RE.search(text)
+        if not match:
+            continue
+        rules = _split_rules(match.group(1))
+        smap.mentions.extend((lineno, rule) for rule in sorted(rules))
+        smap.by_line.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):  # standalone: covers the next line
+            smap.by_line.setdefault(lineno + 1, set()).update(rules)
+    return smap
+
+
+def known_rule_ids() -> set[str]:
+    """Every rule id registered by any analysis pass (lazy import)."""
+    from . import lint
+    from .semantic import driver
+
+    known = set(lint.RULES_BY_ID)
+    known.update(driver.SEMANTIC_RULES)
+    known.add(SUP001)
+    return known

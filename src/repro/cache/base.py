@@ -92,3 +92,23 @@ class SetAssociativeCache:
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    def det_state(self) -> list[int]:
+        """Architectural state words for the determinism hash-chain.
+
+        Tag-array contents and LRU clocks only move inside lookup/insert/
+        invalidate — all driven from stepped cycles — so these words are
+        constant across quiescent fast-forward windows.  The per-line
+        checksum is a sum, making it independent of set/dict iteration
+        order.  Hit/miss counters are statistics and stay excluded.
+        """
+        resident = 0
+        dirty = 0
+        checksum = 0
+        for cache_set in self._sets:
+            resident += len(cache_set)
+            for line_addr, line in cache_set.items():
+                if line.dirty:
+                    dirty += 1
+                checksum += line_addr + 131 * line.lru + 7 * ord(line.state[0])
+        return [self._clock, resident, dirty, checksum]

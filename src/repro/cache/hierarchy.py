@@ -118,6 +118,13 @@ class MemoryHierarchy:
         # an outstanding load turning out to be DRAM-bound).  See
         # OutOfOrderCore.skip_plan.
         self._wake_core = lambda core: None
+        # Event-trace recorder (attached by System under REPRO_TRACE=1);
+        # None during construction/prewarm, so those never record.
+        self.trace = None
+
+    def _trace_cache(self, kind: str, core: int, line_addr: int) -> None:
+        if self.trace is not None:
+            self.trace.cache_event(self._now(), kind, core, line_addr)
 
     # ------------------------------------------------------------------ loads
 
@@ -300,6 +307,7 @@ class MemoryHierarchy:
 
     def _install_l2_fill(self, line64, now) -> None:
         entry = self.l2_mshr.release(line64)
+        self._trace_cache("l2_fill", -1, line64)
         victim = self.l2.insert(line64, state="S", dirty=False)
         if victim is not None:
             self._evict_l2_line(*victim)
@@ -370,6 +378,7 @@ class MemoryHierarchy:
                         self.l1[other].invalidate(line32)
                         sharers.discard(other)
                         self.stats.invalidations += 1
+                        self._trace_cache("inval", other, line32)
                     else:
                         other_line.state = "S"
                         other_line.dirty = False
@@ -377,6 +386,7 @@ class MemoryHierarchy:
                     self.l1[other].invalidate(line32)
                     sharers.discard(other)
                     self.stats.invalidations += 1
+                    self._trace_cache("inval", other, line32)
         return penalty
 
     def _invalidate_remote(self, core, line32) -> None:
@@ -393,6 +403,7 @@ class MemoryHierarchy:
                     if l2line is not None:
                         l2line.dirty = True
                 self.stats.invalidations += 1
+                self._trace_cache("inval", other, line32)
             sharers.discard(other)
 
     # ------------------------------------------------------------- evictions
@@ -421,8 +432,10 @@ class MemoryHierarchy:
                     if l1line.state == "M" or l1line.dirty:
                         dirty = True
                     self.stats.invalidations += 1
+                    self._trace_cache("inval", core, line32)
         self._prefetched_lines.discard(line64)
         if dirty:
+            self._trace_cache("dirty_evict", -1, line64)
             self._writeback(line64)
 
     def _writeback(self, line64) -> None:
@@ -535,6 +548,9 @@ class MemoryHierarchy:
         for mshr in self.l1_mshr:
             values.extend(mshr.det_state())
         values.extend(self.l2_mshr.det_state())
+        for cache in self.l1:
+            values.extend(cache.det_state())
+        values.extend(self.l2.det_state())
         return values
 
     # ------------------------------------------------------------------ clock

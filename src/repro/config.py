@@ -40,6 +40,12 @@ class DramTimings:
     # 8,192 refresh commands every 64 ms (paper Table 3) => one REF per
     # 64 ms / 8192 = 7.8125 us.  Expressed in DRAM cycles at build time.
     refresh_interval_us: float = 7.8125
+    #: Four-activate window: at most four ACTIVATEs to a rank within any
+    #: rolling ``tFAW`` cycles.  ``None`` derives ``4 * tRRD`` — the
+    #: loosest JEDEC-legal value, under which tRRD spacing alone already
+    #: satisfies the window; datasheets with a tighter power budget set
+    #: it explicitly.
+    tFAW: int | None = None
 
     @property
     def clock_mhz(self) -> float:
@@ -55,6 +61,11 @@ class DramTimings:
     def refresh_interval_cycles(self) -> int:
         """DRAM cycles between successive REF commands (tREFI)."""
         return int(self.refresh_interval_us * self.clock_mhz)
+
+    @property
+    def effective_tFAW(self) -> int:
+        """Four-activate window in DRAM cycles (derived when unset)."""
+        return self.tFAW if self.tFAW is not None else 4 * self.tRRD
 
 
 #: Paper Table 3: Micron DDR3-2133 (MT41J128M8).

@@ -51,6 +51,10 @@ class _CriticalityScheduler(Scheduler):
         """Distinct requests ever promoted by the starvation cap."""
         return len(self._promoted)
 
+    def det_state(self):
+        # Sum over the promoted-seq set is insertion-order independent.
+        return (len(self._promoted), sum(self._promoted))
+
     def _urgency(self, txn, now: int) -> int:
         """Effective criticality magnitude, with the starvation cap applied."""
         if txn.critical:

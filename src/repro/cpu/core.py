@@ -547,6 +547,8 @@ class OutOfOrderCore:
             len(self._rob),
             self._lq_used,
             self._sq_used,
+            self._fetch_resume,
+            -1 if self._fetch_blocker is None else self._fetch_blocker.idx,
         )
 
     def rob_occupancy(self) -> int:

@@ -4,6 +4,7 @@ Constraints enforced here, on top of the per-bank rules in
 :mod:`repro.dram.bank`:
 
 * tRRD  — ACTIVATE-to-ACTIVATE minimum between banks of the same rank.
+* tFAW  — at most four ACTIVATEs to a rank within any rolling window.
 * tCCD  — CAS-to-CAS minimum on the channel.
 * tWTR  — WRITE-to-READ turnaround within a rank (from end of write data).
 * tRTRS — rank-to-rank data-bus switch penalty.
@@ -14,6 +15,8 @@ Constraints enforced here, on top of the per-bank rules in
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.config import DramTimings
 
@@ -28,6 +31,8 @@ class ChannelTiming:
         "last_data_rank",
         "rank_act_ready",
         "rank_read_after_write",
+        "rank_act_history",
+        "_tFAW",
     )
 
     def __init__(self, timings: DramTimings, ranks: int):
@@ -42,11 +47,21 @@ class ChannelTiming:
         self.rank_act_ready = [0] * ranks
         # Per-rank earliest READ after a WRITE to that rank (tWTR).
         self.rank_read_after_write = [0] * ranks
+        # Per-rank issue cycles of the last four ACTIVATEs (tFAW window).
+        self.rank_act_history = [deque(maxlen=4) for _ in range(ranks)]
+        self._tFAW = timings.effective_tFAW
 
     # -- legality checks ---------------------------------------------------
 
     def can_activate(self, rank: int, now: int) -> bool:
-        return now >= self.rank_act_ready[rank]
+        if now < self.rank_act_ready[rank]:
+            return False
+        history = self.rank_act_history[rank]
+        # Four ACTIVATEs already in flight within the window: the fifth
+        # must wait until the oldest ages out (rolling tFAW).
+        if len(history) == 4 and now < history[0] + self._tFAW:
+            return False
+        return True
 
     def cas_issue_ok(self, rank: int, is_write: bool, now: int) -> bool:
         """True if a CAS to ``rank`` may issue at ``now``.
@@ -79,12 +94,16 @@ class ChannelTiming:
         values = [self.next_cas_allowed, self.data_bus_free, self.last_data_rank]
         values += self.rank_act_ready
         values += self.rank_read_after_write
+        for history in self.rank_act_history:
+            values.append(len(history))
+            values += history
         return values
 
     # -- command effects ---------------------------------------------------
 
     def did_activate(self, rank: int, now: int) -> None:
         self.rank_act_ready[rank] = max(self.rank_act_ready[rank], now + self._t.tRRD)
+        self.rank_act_history[rank].append(now)
 
     def did_cas(self, rank: int, is_write: bool, now: int) -> int:
         """Record a CAS issue; returns the cycle the data burst completes."""

@@ -203,7 +203,10 @@ class ChannelController:
             for bank in rank_banks:
                 values.append(-1 if bank.open_row is None else bank.open_row)
                 values.append(bank.opened_by)
+                values += (bank.act_ready, bank.cas_ready, bank.pre_ready,
+                           bank.last_use)
         values += self.timing.det_state()
+        values += self.scheduler.det_state()
         values += self._next_refresh
         values.append(sum(1 << i for i, due in enumerate(self._refresh_due) if due))
         return values

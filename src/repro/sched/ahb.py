@@ -83,3 +83,12 @@ class AhbScheduler(Scheduler):
             is_write = cmd.kind == CommandKind.WRITE
             self.history.append((cmd.rank, is_write))
             self._issued["write" if is_write else "read"] += 1
+
+    def det_state(self):
+        values = [
+            self._arrived["read"], self._arrived["write"],
+            self._issued["read"], self._issued["write"],
+        ]
+        for rank, is_write in self.history:
+            values += (rank, 1 if is_write else 0)
+        return values

@@ -47,6 +47,14 @@ class AtlasScheduler(Scheduler):
             # One burst of data-bus time attained.
             self._quantum_service[cmd.txn.core] += 1.0
 
+    def det_state(self):
+        values = [self.quanta, self._next_quantum]
+        for service in self._service:
+            values.append(self._float_bits(service))
+        for service in self._quantum_service:
+            values.append(self._float_bits(service))
+        return values
+
     def _rank(self, core: int) -> float:
         if not 0 <= core < self.threads:
             return float("inf")

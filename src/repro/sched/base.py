@@ -12,6 +12,8 @@ Schedulers that track request streams (TCM, PAR-BS, MORSE) also get
 
 from __future__ import annotations
 
+import struct
+
 from repro.dram.command import CandidateCommand, CommandKind
 
 
@@ -29,6 +31,26 @@ class Scheduler:
     def select(self, candidates, controller, now):
         """Pick one of ``candidates`` to issue at DRAM cycle ``now``."""
         raise NotImplementedError
+
+    # -- determinism chain ---------------------------------------------------
+
+    def det_state(self) -> tuple[int, ...] | list[int]:
+        """Architectural decision-state words for the determinism chain.
+
+        Stateless policies return nothing; schedulers whose future
+        decisions depend on accumulated state (batches, quanta, service
+        histories) override this so a divergence in that state is caught
+        at the next chain sample rather than at the next visible
+        reordering.  Values must be ints, constant while the channel is
+        quiescent, and independent of fast-forwarding.
+        """
+        return ()
+
+    @staticmethod
+    def _float_bits(value: float) -> int:
+        """IEEE-754 bit pattern of a float, so real-valued policy state
+        folds into the integer hash-chain without rounding ambiguity."""
+        return int.from_bytes(struct.pack("<d", value), "little")
 
     # -- telemetry ----------------------------------------------------------
 

@@ -153,6 +153,16 @@ class MorseScheduler(Scheduler):
         self.decisions += 1
         return chosen
 
+    def det_state(self):
+        # The CMAC weight table and SARSA bootstrap floats are allowlisted
+        # in the coverage audit: a divergence there changes the next
+        # decision, which these words (and command order) catch.
+        return (
+            self.decisions,
+            self.exploration_moves,
+            self._float_bits(self._prev_reward),
+        )
+
     def _sarsa_update(self, current_q: float) -> None:
         if self._prev_keys is None:
             return

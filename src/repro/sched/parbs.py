@@ -54,6 +54,12 @@ class ParBsScheduler(Scheduler):
     def _batch_active(self, controller) -> bool:
         return any(txn.marked for txn in controller.read_queue)
 
+    def det_state(self):
+        values = [self.batches_formed, len(self._rank)]
+        for core in sorted(self._rank):
+            values += (core, self._rank[core])
+        return values
+
     # -- selection ------------------------------------------------------------
 
     def select(self, candidates, controller, now):

@@ -86,6 +86,17 @@ class TcmScheduler(Scheduler):
         if now >= self._next_shuffle:
             self._shuffle(now)
 
+    def det_state(self):
+        values = [
+            self.quanta, self.shuffles, self._next_quantum,
+            self._next_shuffle,
+            sum(1 << core for core in self._latency_cluster),
+        ]
+        values.extend(self._bw_order)
+        for core in sorted(self._requests_this_quantum):
+            values += (core, self._requests_this_quantum[core])
+        return values
+
     # -- selection -----------------------------------------------------------------
 
     def _thread_rank(self, core: int) -> int:

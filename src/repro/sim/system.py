@@ -108,6 +108,7 @@ class System:
                 core.tracer = recorder
             for channel in self.memory.channels:
                 channel.trace = recorder
+            self.hierarchy.trace = recorder
 
     def run(
         self, max_cycles: int | None = None, skip_cycles: bool = True

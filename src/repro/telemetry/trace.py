@@ -1,14 +1,16 @@
 """Opt-in event trace: bounded ring buffer + Chrome ``trace_event`` export.
 
 Enabled with ``REPRO_TRACE=1`` (capacity ``REPRO_TRACE_CAP``, default
-65536 events, drop-oldest).  Three event families are recorded, all at
+65536 events, drop-oldest).  Four event families are recorded, all at
 cycles the fast-forwarding loop provably steps, so the trace stream is
 bit-identical between skip and no-skip runs:
 
 * DRAM commands (ACT/PRE/READ/WRITE/REF) from every channel controller;
 * ROB-head block episodes (a DRAM-bound load stalling commit, measured
   start -> commit);
-* CBP criticality predictions attached to issued loads.
+* CBP criticality predictions attached to issued loads;
+* cache-hierarchy events: L2 fills from DRAM, dirty L2 evictions
+  (writebacks), and coherence invalidations of remote L1 copies.
 
 Raw events are compact tuples on ``SimResult.trace_events``; exporters
 render them as JSONL or as Chrome ``trace_event`` JSON
@@ -24,7 +26,10 @@ import os
 from collections import deque
 
 #: Raw-event tags (first tuple element).
-CMD, BLOCK, PRED = "cmd", "block", "pred"
+CMD, BLOCK, PRED, CACHE = "cmd", "block", "pred", "cache"
+
+#: Cache-event kinds (third element of a ``CACHE`` tuple).
+CACHE_KINDS = ("l2_fill", "dirty_evict", "inval")
 
 _DEFAULT_CAP = 65536
 
@@ -81,6 +86,16 @@ class TraceRecorder:
         """The criticality provider flagged an issued load as critical."""
         self._push((PRED, ts, core, pc, magnitude))
 
+    def cache_event(self, ts, kind, core, line_addr) -> None:
+        """A cache-hierarchy event (see :data:`CACHE_KINDS`).
+
+        ``core`` is the affected L1's core for invalidations and -1 for
+        L2-level events (fills, evictions).
+        """
+        if kind not in CACHE_KINDS:
+            raise ValueError(f"unknown cache event kind {kind!r}")
+        self._push((CACHE, ts, kind, core, line_addr))
+
 
 # ------------------------------------------------------------------ export
 
@@ -102,6 +117,10 @@ def _event_dicts(events):
             _, ts, core, pc, magnitude = event
             yield {"type": "cbp_prediction", "ts": ts, "core": core,
                    "pc": pc, "magnitude": magnitude}
+        elif tag == CACHE:
+            _, ts, kind, core, line_addr = event
+            yield {"type": "cache_event", "ts": ts, "kind": kind,
+                   "core": core, "line": line_addr}
         else:
             raise ValueError(f"unknown trace event tag {tag!r}")
 
@@ -117,9 +136,12 @@ def to_chrome_trace(events, label: str = "repro") -> dict:
     """Chrome ``trace_event`` document (JSON-serialisable dict).
 
     Lanes: pid ``1 + channel`` per DRAM channel (tid = rank*32 + bank),
-    pid ``1000 + core`` per core (tid 0 = ROB, tid 1 = CBP).  Timestamps
-    are CPU cycles rendered as microseconds (1 cycle == 1 "us"), which
-    Perfetto displays fine and keeps the numbers readable.
+    pid ``1000 + core`` per core (tid 0 = ROB, tid 1 = CBP), and
+    pid ``2000`` for the shared cache hierarchy (tid 0 = L2 fills,
+    tid 1 = dirty evictions, tid 2 = coherence invalidations).
+    Timestamps are CPU cycles rendered as microseconds (1 cycle ==
+    1 "us"), which Perfetto displays fine and keeps the numbers
+    readable.
     """
     trace_events: list[dict] = []
     named_pids: dict[int, str] = {}
@@ -157,6 +179,19 @@ def to_chrome_trace(events, label: str = "repro") -> dict:
                 "name": f"critical pc={pc:#x}", "cat": "cbp", "ph": "i",
                 "ts": ts, "pid": pid, "tid": 1, "s": "t",
                 "args": {"pc": pc, "magnitude": magnitude},
+            })
+        elif tag == CACHE:
+            _, ts, kind, core, line_addr = event
+            pid = 2000
+            tid = CACHE_KINDS.index(kind)
+            lane = ("L2 fills", "dirty evictions",
+                    "coherence invalidations")[tid]
+            named_pids.setdefault(pid, "cache hierarchy")
+            named_tids.setdefault((pid, tid), lane)
+            trace_events.append({
+                "name": f"{kind} line={line_addr:#x}", "cat": "cache",
+                "ph": "i", "ts": ts, "pid": pid, "tid": tid, "s": "t",
+                "args": {"kind": kind, "core": core, "line": line_addr},
             })
         else:
             raise ValueError(f"unknown trace event tag {tag!r}")

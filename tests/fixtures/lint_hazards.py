@@ -85,3 +85,9 @@ def suppressed_example():
     # A correctly suppressed finding: counts as `suppressed`, not a finding.
     t0 = time.perf_counter()  # repro-lint: disable=DET002 fixture example
     return t0
+
+
+def stale_suppression(value):
+    # SUP001: the named rule does not exist, so this comment silences
+    # nothing — likely a typo or a rule that was renamed away.
+    return value  # repro-lint: disable=DET999

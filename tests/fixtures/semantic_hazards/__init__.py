@@ -1,0 +1,12 @@
+"""Seeded hazard fixtures for the whole-program semantic analyzer.
+
+One module per SEM rule, each containing the minimal code that must
+trigger it plus (in ``clean.py``) the legal counter-example that must
+NOT.  ``python -m repro analyze tests/fixtures/semantic_hazards`` exits
+nonzero with every SEM rule represented, proving the analyzer detects
+each hazard class — the semantic counterpart of
+``tests/fixtures/lint_hazards.py``.
+
+The files are never imported (the analyzer is purely syntactic); they
+only need to parse.  Do NOT "fix" these; they are the test vectors.
+"""

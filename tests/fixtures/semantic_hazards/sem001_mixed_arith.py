@@ -1,0 +1,13 @@
+"""SEM001: arithmetic across clock domains without a conversion."""
+
+
+def total_latency(cpu_now, dram_now):
+    # SEM001: cpu- and dram-domain cycle counts added directly; the
+    # result is meaningful on neither clock.
+    return cpu_now + dram_now
+
+
+def earliest_deadline(cpu_done, dram_done):
+    # SEM001: min() across clock domains picks by raw magnitude, which
+    # inverts whenever the clock ratio is not 1.
+    return min(cpu_done, dram_done)

@@ -1,0 +1,7 @@
+"""SEM002: ordering comparison between counters on different clocks."""
+
+
+def deadline_passed(cpu_now, dram_wake):
+    # SEM002: a cpu-cycle count compared against a dram-cycle deadline;
+    # true/false flips with the configured clock ratio.
+    return cpu_now >= dram_wake

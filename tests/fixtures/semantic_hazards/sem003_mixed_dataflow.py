@@ -1,0 +1,17 @@
+"""SEM003: a cycle count crossing a seeded domain boundary unconverted."""
+
+
+class Request:
+    def stamp(self, cpu_now):
+        # SEM003: `arrival` is dram-domain state everywhere in the
+        # simulator, but a cpu-cycle count is stored into it.
+        self.arrival = cpu_now
+
+
+def wake_channel(dram_wake):
+    return dram_wake
+
+
+def schedule_wake(cpu_now):
+    # SEM003: cpu-domain argument bound to a dram-seeded parameter.
+    return wake_channel(cpu_now)

@@ -1,0 +1,18 @@
+"""SEM010: mutable simulator state that escapes the determinism chain."""
+
+
+class ChannelController:
+    """Audited by name, like the simulator's real controller."""
+
+    def __init__(self):
+        self.commands_issued_total = 0
+        self.sneaky_counter = 0
+
+    def step(self, now):
+        self.commands_issued_total += 1  # covered: read by det_state below
+        # SEM010: mutated every step but never folded into det_state —
+        # two diverging runs would hash identically.
+        self.sneaky_counter += 1
+
+    def det_state(self):
+        return [self.commands_issued_total]

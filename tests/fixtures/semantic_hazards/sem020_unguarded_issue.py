@@ -1,0 +1,20 @@
+"""SEM020: an issue path that never consults an age/starvation signal."""
+
+from tests.fixtures.semantic_hazards._base import Scheduler
+
+
+class GreedyRowHitScheduler(Scheduler):
+    """Pure row-hit-first policy: row misses can starve forever."""
+
+    name = "greedy-row-hit"
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        for cand in candidates:
+            if cand.is_cas:
+                # SEM020: issued without any age or starvation check.
+                return cand
+        if candidates:
+            # SEM020: same — first-listed wins regardless of queue age.
+            return candidates[0]
+        return None

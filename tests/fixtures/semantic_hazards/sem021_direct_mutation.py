@@ -1,0 +1,22 @@
+"""SEM021: a scheduler mutating controller-owned state directly."""
+
+from tests.fixtures.semantic_hazards._base import Scheduler
+
+
+class PushyScheduler(Scheduler):
+    """Ranks by age, then 'helps' the controller issue — forbidden."""
+
+    name = "pushy"
+
+    def select(self, candidates, controller, now):
+        best = None
+        for cand in candidates:
+            if best is None or cand.txn.seq < best.txn.seq:
+                best = cand
+        if best is not None:
+            # SEM021: popping queues is the controller's job.
+            controller.read_queue.remove(best.txn)
+            bank = controller.banks[best.rank][best.bank]
+            # SEM021: bank bookkeeping belongs to the DRAM model.
+            bank.open_row = best.row
+        return best

@@ -1,0 +1,17 @@
+"""SEM022: concrete schedulers missing a required override."""
+
+from tests.fixtures.semantic_hazards._base import Scheduler
+
+
+class NamelessScheduler(Scheduler):
+    """SEM022: no ``name`` class attribute — invisible to the registry."""
+
+    def select(self, candidates, controller, now):
+        ordered = sorted(candidates, key=lambda c: c.txn.seq)
+        return ordered[0] if ordered else None
+
+
+class UnimplementedScheduler(Scheduler):
+    """SEM022: inherits the base's raising ``select`` stub."""
+
+    name = "unimplemented"

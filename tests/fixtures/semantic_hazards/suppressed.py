@@ -1,0 +1,7 @@
+"""A correctly suppressed semantic finding: counted, not reported."""
+
+
+def tolerated_mix(cpu_now, dram_now):
+    # The violation is real but acknowledged with a rationale; the
+    # analyzer must count it as suppressed, not as a finding.
+    return cpu_now + dram_now  # repro-lint: disable=SEM001 fixture example

@@ -78,3 +78,44 @@ class TestRrd:
     def test_other_rank_unaffected(self, timing):
         timing.did_activate(0, 0)
         assert timing.can_activate(1, 1)
+
+
+class TestFaw:
+    def test_derived_default_never_tightens_trrd_spacing(self, timing):
+        # With tFAW = 4 * tRRD (the derived default), ACTIVATEs issued at
+        # exact tRRD spacing roll the oldest out of the window just in
+        # time: the fifth is legal the cycle tRRD allows it.
+        t = DDR3_2133
+        for i in range(4):
+            timing.did_activate(0, i * t.tRRD)
+        assert timing.can_activate(0, 4 * t.tRRD)
+
+    def test_explicit_tfaw_blocks_fifth_activate(self):
+        import dataclasses
+
+        t = dataclasses.replace(DDR3_2133, tFAW=4 * DDR3_2133.tRRD + 8)
+        timing = ChannelTiming(t, ranks=2)
+        for i in range(4):
+            timing.did_activate(0, i * t.tRRD)
+        # tRRD alone would allow the fifth at 4*tRRD, but the window says
+        # it must wait until the first ACTIVATE (cycle 0) ages out.
+        assert not timing.can_activate(0, 4 * t.tRRD)
+        assert not timing.can_activate(0, t.effective_tFAW - 1)
+        assert timing.can_activate(0, t.effective_tFAW)
+
+    def test_other_rank_has_its_own_window(self):
+        import dataclasses
+
+        t = dataclasses.replace(DDR3_2133, tFAW=4 * DDR3_2133.tRRD + 8)
+        timing = ChannelTiming(t, ranks=2)
+        for i in range(4):
+            timing.did_activate(0, i * t.tRRD)
+        assert timing.can_activate(1, 4 * t.tRRD)
+
+    def test_window_history_in_det_state(self):
+        timing = ChannelTiming(DDR3_2133, ranks=1)
+        before = list(timing.det_state())
+        timing.did_activate(0, 7)
+        after = list(timing.det_state())
+        assert before != after
+        assert 7 in after

@@ -439,6 +439,55 @@ class TestSuppression:
         assert [f.rule for f in report.findings] == ["DET002"]
         assert len(report.suppressed) == 1
 
+    def test_file_wide_disable(self):
+        report = lint_source(
+            "# repro-lint: disable-file=DET002 benchmarking module\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["DET002", "DET002"]
+
+    def test_file_wide_disable_all(self):
+        report = lint_source(
+            "# repro-lint: disable-file=all\n"
+            "import time\n"
+            "a = time.time()\n"
+        )
+        assert not report.findings and report.suppressed
+
+    def test_unknown_rule_in_suppression_is_an_error(self):
+        report = lint_source(
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=DET002,DET999\n"
+        )
+        assert [f.rule for f in report.findings] == ["SUP001"]
+        assert "DET999" in report.findings[0].message
+        assert [f.rule for f in report.suppressed] == ["DET002"]
+
+    def test_unknown_rule_in_file_wide_suppression_is_an_error(self):
+        report = lint_source(
+            "# repro-lint: disable-file=NOPE123\n"
+            "x = 1\n"
+        )
+        assert [f.rule for f in report.findings] == ["SUP001"]
+
+    def test_semantic_rule_names_are_known_to_lint(self):
+        # SEM rules belong to the analyzer, but naming one in a lint
+        # suppression must not raise SUP001 — the grammar is shared.
+        report = lint_source(
+            "x = 1  # repro-lint: disable=SEM001 analyzer-side rationale\n"
+        )
+        assert not report.findings
+
+    def test_sup001_is_itself_suppressible(self):
+        report = lint_source(
+            "x = 1  # repro-lint: disable=DET999,SUP001 known-stale\n"
+        )
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["SUP001"]
+
 
 class TestRunner:
     def test_select_filters_rules(self):

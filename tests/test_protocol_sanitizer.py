@@ -178,6 +178,43 @@ class TestRankAndChannelViolations:
         with pytest.raises(ProtocolViolation, match="tWTR"):
             cas(san, 0, 1, 2, now=write_end + T.tWTR - 1)
 
+    def test_tfaw_fifth_activate_in_window(self):
+        import dataclasses
+
+        timings = dataclasses.replace(T, tFAW=4 * T.tRRD + 8)
+        config = DramConfig(timings=timings, channels=1,
+                            ranks_per_channel=2, banks_per_rank=8)
+        san = ProtocolSanitizer(config, channel_id=0)
+        for bank in range(4):
+            san.on_activate(0, bank, 1, now=bank * T.tRRD)
+        # Legal by tRRD spacing alone, but the fifth ACTIVATE lands
+        # inside the four-activate window.
+        with pytest.raises(ProtocolViolation, match="tFAW"):
+            san.on_activate(0, 4, 1, now=4 * T.tRRD)
+
+    def test_tfaw_fifth_activate_after_window_ok(self):
+        import dataclasses
+
+        timings = dataclasses.replace(T, tFAW=4 * T.tRRD + 8)
+        config = DramConfig(timings=timings, channels=1,
+                            ranks_per_channel=2, banks_per_rank=8)
+        san = ProtocolSanitizer(config, channel_id=0)
+        for bank in range(4):
+            san.on_activate(0, bank, 1, now=bank * T.tRRD)
+        san.on_activate(0, 4, 1, now=timings.effective_tFAW)
+        # Other rank never shares the window.
+        san.on_activate(1, 0, 1, now=4 * T.tRRD)
+
+    def test_derived_tfaw_not_triggered_by_trrd_spacing(self):
+        config = DramConfig(channels=1, ranks_per_channel=2,
+                            banks_per_rank=8)
+        san = ProtocolSanitizer(config, channel_id=0)
+        for bank in range(4):
+            san.on_activate(0, bank, 1, now=bank * T.tRRD)
+        # At the derived default (4 * tRRD) the oldest ACTIVATE rolls out
+        # exactly when tRRD admits the fifth.
+        san.on_activate(0, 4, 1, now=4 * T.tRRD)
+
     def test_burst_end_mismatch(self):
         san = make_sanitizer()
         san.on_activate(0, 0, 1, now=0)

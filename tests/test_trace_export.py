@@ -22,6 +22,9 @@ def _sample_recorder():
     t.command(200, 0, 0, 0, "REF", -1, 560)
     t.block_episode(120, 2, 0x4F0, 95)
     t.prediction(118, 2, 0x4F0, 3)
+    t.cache_event(130, "l2_fill", -1, 0x1000)
+    t.cache_event(150, "dirty_evict", -1, 0x2000)
+    t.cache_event(160, "inval", 1, 0x1040)
     return t
 
 
@@ -29,15 +32,20 @@ class TestJsonl:
     def test_one_object_per_event(self):
         text = to_jsonl(_sample_recorder().events)
         lines = text.strip().splitlines()
-        assert len(lines) == 6
+        assert len(lines) == 9
         objs = [json.loads(line) for line in lines]
         kinds = [o["type"] for o in objs]
         assert kinds.count("dram_command") == 4
         assert kinds.count("rob_block") == 1
         assert kinds.count("cbp_prediction") == 1
+        assert kinds.count("cache_event") == 3
         block = next(o for o in objs if o["type"] == "rob_block")
         assert block == {"type": "rob_block", "ts": 120, "core": 2,
                          "pc": 0x4F0, "dur": 95}
+        inval = next(o for o in objs if o["type"] == "cache_event"
+                     and o["kind"] == "inval")
+        assert inval == {"type": "cache_event", "ts": 160, "kind": "inval",
+                         "core": 1, "line": 0x1040}
 
     def test_unknown_tag_raises(self):
         with pytest.raises(ValueError, match="unknown trace event tag"):
@@ -60,9 +68,18 @@ class TestChromeTrace:
         assert pre["pid"] == 2 and pre["tid"] == 1 * 32 + 5
         block = next(e for e in events if "ROB block" in e["name"])
         assert block["pid"] == 1002 and block["tid"] == 0
-        pred = next(e for e in events if e["ph"] == "i")
+        pred = next(e for e in events
+                    if e["ph"] == "i" and e["cat"] == "cbp")
         assert pred["pid"] == 1002 and pred["tid"] == 1
         assert pred["s"] == "t"
+        fill = next(e for e in events if e["name"].startswith("l2_fill"))
+        assert fill["pid"] == 2000 and fill["tid"] == 0
+        evict = next(e for e in events
+                     if e["name"].startswith("dirty_evict"))
+        assert evict["pid"] == 2000 and evict["tid"] == 1
+        inval = next(e for e in events if e["name"].startswith("inval"))
+        assert inval["pid"] == 2000 and inval["tid"] == 2
+        assert inval["args"] == {"kind": "inval", "core": 1, "line": 0x1040}
 
     def test_metadata_names_every_lane(self):
         doc = to_chrome_trace(_sample_recorder().events)
@@ -76,6 +93,10 @@ class TestChromeTrace:
                         if e["name"] == "thread_name"}
         assert thread_names[(1, 3)] == "rank 0 bank 3"
         assert thread_names[(1002, 1)] == "CBP predictions"
+        assert process_names[2000] == "cache hierarchy"
+        assert thread_names[(2000, 0)] == "L2 fills"
+        assert thread_names[(2000, 1)] == "dirty evictions"
+        assert thread_names[(2000, 2)] == "coherence invalidations"
 
     def test_zero_duration_commands_render_visible(self):
         t = TraceRecorder(cap=4)
@@ -121,3 +142,10 @@ class TestValidator:
         assert validate_chrome_trace(doc) == []
         kinds = {e[5] for e in result.trace_events if e[0] == "cmd"}
         assert "ACT" in kinds and "READ" in kinds
+        cache_kinds = {e[2] for e in result.trace_events if e[0] == "cache"}
+        assert "l2_fill" in cache_kinds
+
+    def test_unknown_cache_kind_rejected(self):
+        t = TraceRecorder(cap=4)
+        with pytest.raises(ValueError, match="unknown cache event kind"):
+            t.cache_event(0, "l3_fill", -1, 0x0)

@@ -5,11 +5,13 @@ injected-violation self-test.
 Runs a short mixed workload (one row-buffer-friendly app, one irregular
 app) under ``REPRO_SANITIZE=1`` for every scheduler in the registry, so
 each policy's full command stream is re-checked by the shadow JEDEC
-oracle (see :mod:`repro.analysis.protocol`).  Then deliberately breaks a
-tRP constraint through the *controller* path (by zeroing a bank's
-``act_ready`` bookkeeping right after a precharge) and asserts the
-sanitizer catches it — proving the oracle is actually wired in and not
-vacuously green.
+oracle (see :mod:`repro.analysis.protocol`), including the rolling
+four-activate window (tFAW, derived 4×tRRD unless the config tightens
+it).  Then deliberately breaks two constraints through the *controller*
+path — tRP (zeroing a bank's ``act_ready`` right after a precharge) and
+tFAW (erasing the channel's rolling ACTIVATE window so a fifth ACTIVATE
+issues inside it) — and asserts the sanitizer catches both, proving the
+oracle is actually wired in and not vacuously green.
 
 CI runs this as the ``lint-and-sanitize`` job's second gate.
 
@@ -99,6 +101,44 @@ def injected_trp_violation_is_caught() -> bool:
         return True
 
 
+def injected_tfaw_violation_is_caught() -> bool:
+    """Erase the four-activate window bookkeeping; the oracle must object."""
+    import dataclasses
+
+    from repro.analysis.protocol import ProtocolViolation
+    from repro.config import DramConfig
+    from repro.dram.addressmap import DramLocation
+    from repro.dram.controller import ChannelController
+    from repro.dram.transaction import Transaction
+    from repro.sched.frfcfs import FrFcfsScheduler
+
+    base = DramConfig(channels=1, ranks_per_channel=1, banks_per_rank=8)
+    # A window far wider than tRRD-legal spacing, so wherever command-bus
+    # arbitration lands the fifth ACTIVATE, it is inside the window.
+    timings = dataclasses.replace(
+        base.timings, tFAW=4 * base.timings.tRRD + 200
+    )
+    config = dataclasses.replace(base, timings=timings)
+    controller = ChannelController(0, config, FrFcfsScheduler())
+    assert controller.sanitizer is not None, "REPRO_SANITIZE=1 did not attach"
+
+    # Five reads to five distinct banks: each needs its own ACTIVATE.
+    for bank in range(5):
+        txn = Transaction(0, DramLocation(0, 0, bank, 1, 0))
+        controller.enqueue(txn, 0)
+    try:
+        for now in range(400):
+            controller.step(now)
+            # Forge: the controller forgets its rolling window, so it
+            # spaces ACTIVATEs by tRRD alone — legal per-pair, but the
+            # fifth lands inside the widened four-activate window.
+            controller.timing.rank_act_history[0].clear()
+        return False  # no violation raised: sanitizer missed it
+    except ProtocolViolation as exc:
+        print(f"ok   injected tFAW violation caught: {exc}")
+        return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--apps", default="fft,radix",
@@ -110,6 +150,9 @@ def main() -> int:
     failures = clean_sweep(apps, args.instructions)
     if not injected_trp_violation_is_caught():
         print("FAIL injected tRP violation was NOT caught")
+        failures += 1
+    if not injected_tfaw_violation_is_caught():
+        print("FAIL injected tFAW violation was NOT caught")
         failures += 1
     if failures:
         print(f"{failures} sanitizer smoke failure(s)")
