@@ -15,7 +15,9 @@ configuration fingerprint (sampling interval, trace on/off and capacity)
 is part of the key too: a run cached without sampling must not satisfy a
 request that expects time-series on the result.  Since the
 fast-forwarding loop is bit-identical to the naive loop, the skip
-setting is deliberately *not* part of the key.
+setting is deliberately *not* part of the key — and neither is the
+telemetry *streaming* configuration (``REPRO_STREAM_DIR`` /
+``RunSpec.stream_dir``), which only mirrors telemetry to disk.
 
 Environment knobs:
 
@@ -58,7 +60,17 @@ class UnportableSpec(ValueError):
 
 @dataclass
 class RunSpec:
-    """Everything needed to reproduce one simulation run."""
+    """Everything needed to reproduce one simulation run.
+
+    ``stream_dir`` requests live telemetry streaming
+    (:mod:`repro.telemetry.stream`) into that directory for this run.
+    It is *not* part of the cache key — streaming changes where
+    telemetry lands, never the simulated outcome — so a streamed run
+    and an unstreamed run share a cache slot.  When the engine
+    satisfies a streaming spec from the cache it writes a
+    ``cache-replay`` marker manifest instead, so ``repro watch`` can
+    explain why no stream is coming.
+    """
 
     kind: str  # "parallel" | "bundle" | "alone"
     workload: str
@@ -69,6 +81,7 @@ class RunSpec:
     scheduler_kwargs: dict | None = None
     slot: int | None = None
     label: str | None = None
+    stream_dir: str | None = None
 
 
 # --------------------------------------------------------------- cache keys
@@ -214,7 +227,26 @@ def _pickle_result(result: SimResult) -> bytes:
 
 
 def run_one(spec: RunSpec) -> SimResult:
-    """Execute one spec in-process (no caching)."""
+    """Execute one spec in-process (no caching).
+
+    A spec with ``stream_dir`` set exports it as ``REPRO_STREAM_DIR``
+    for the duration of the run (restored afterwards), so streaming
+    requests survive the trip through worker processes.
+    """
+    if spec.stream_dir is None:
+        return _dispatch(spec)
+    saved = os.environ.get("REPRO_STREAM_DIR")
+    os.environ["REPRO_STREAM_DIR"] = spec.stream_dir
+    try:
+        return _dispatch(spec)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_STREAM_DIR", None)
+        else:
+            os.environ["REPRO_STREAM_DIR"] = saved
+
+
+def _dispatch(spec: RunSpec) -> SimResult:
     from repro.sim.runner import (
         run_application_alone,
         run_multiprogrammed_workload,
@@ -257,6 +289,22 @@ def run_one(spec: RunSpec) -> SimResult:
     raise ValueError(f"unknown run kind {spec.kind!r}")
 
 
+def _requested_stream_dir(spec: RunSpec) -> str | None:
+    """Where this spec wants telemetry streamed, if anywhere."""
+    return spec.stream_dir or os.environ.get("REPRO_STREAM_DIR") or None
+
+
+def _mark_cache_replay(spec: RunSpec) -> None:
+    """A cache hit streams nothing; leave a marker for `repro watch`."""
+    directory = _requested_stream_dir(spec)
+    if directory is not None:
+        from repro.telemetry import stream as stream_mod
+
+        stream_mod.write_cache_replay_manifest(
+            directory, spec.label or spec.workload
+        )
+
+
 def run_one_cached(spec: RunSpec, cache: bool | None = None) -> SimResult:
     """``run_one`` behind the disk cache (serial path)."""
     try:
@@ -267,6 +315,7 @@ def run_one_cached(spec: RunSpec, cache: bool | None = None) -> SimResult:
         hit = load_cached(key)
         if hit is not None:
             _record(spec, key, hit, source="disk")
+            _mark_cache_replay(spec)
             return hit
     result = run_one(spec)
     _record(spec, key, result, source="run")
@@ -318,6 +367,7 @@ def run_many(
             if hit is not None:
                 results[i] = hit
                 metrics.append(_metric(spec, key, hit, "disk"))
+                _mark_cache_replay(spec)
                 continue
         pending.setdefault(key, []).append(i)
 

@@ -109,6 +109,7 @@ class System:
             for channel in self.memory.channels:
                 channel.trace = recorder
             self.hierarchy.trace = recorder
+        self.telemetry.begin_stream(self.label)
 
     def run(
         self, max_cycles: int | None = None, skip_cycles: bool = True
@@ -121,7 +122,51 @@ class System:
         increments the naive loop would have made, so results are
         bit-identical either way.  ``skip_cycles=False`` forces the plain
         cycle-by-cycle loop (the reference for the cross-check mode).
+
+        When a streaming writer is attached (``REPRO_STREAM_DIR``) the
+        stream is finalized on success and aborted — torn tail removed,
+        manifest marked ``failed`` — on any failure, so a crashed run
+        never leaves an ambiguous half-written stream behind.
         """
+        stream = self.telemetry.stream
+        if stream is None:
+            return self._run_impl(max_cycles, skip_cycles)
+        try:
+            result = self._run_impl(max_cycles, skip_cycles)
+        except BaseException:
+            stream.abort()
+            raise
+        stream.finalize(result.cycles, result.trace_dropped)
+        return result
+
+    def _fold_telemetry(self, sampler, stream, limit: int) -> None:
+        """Fold sampler and stream-flush points, interleaved on the
+        virtual cycle axis.
+
+        The naive loop reaches this once per cycle, so a sample at cycle
+        P lands *before* a flush point at P seals the segment.  The
+        skipping loop calls it with a whole quiescent window as
+        ``limit``; stepping the two point streams in merged cycle order
+        (sample first on ties) reproduces that per-cycle interleaving
+        exactly, keeping streamed segment boundaries bit-identical
+        across skip modes.
+        """
+        if stream is None:
+            sampler.sample_upto(limit)
+            return
+        while True:
+            next_s = sampler.next_sample if sampler is not None else _FOREVER
+            point = min(next_s, stream.next_flush)
+            if point >= limit:
+                break
+            if next_s == point:
+                sampler.sample_upto(point + 1)
+            if stream.next_flush <= point:
+                stream.flush_upto(point + 1)
+
+    def _run_impl(
+        self, max_cycles: int | None = None, skip_cycles: bool = True
+    ) -> SimResult:
         cores = self.cores
         events = self.events
         memory = self.memory
@@ -140,8 +185,11 @@ class System:
         # Interval sampler: like the hash-chain, sample points live on the
         # virtual cycle axis, so folding due points inside fast-forward
         # windows (where every sampled instrument is constant) yields the
-        # exact stream the naive loop produces.
+        # exact stream the naive loop produces.  Stream-flush points live
+        # on the same axis and are interleaved with sample points in
+        # cycle order (see _fold_telemetry).
         sampler = self.telemetry.sampler
+        stream = self.telemetry.stream
         while remaining:
             if max_cycles is not None and now >= max_cycles:
                 hit_cap = True
@@ -195,8 +243,8 @@ class System:
                 while next_sample < nxt:
                     chain.sample(next_sample, state)
                     next_sample += every
-            if sampler is not None:
-                sampler.sample_upto(nxt)
+            if sampler is not None or stream is not None:
+                self._fold_telemetry(sampler, stream, nxt)
             self._now = now = nxt
         for core in cores:
             if not core.done:

@@ -41,9 +41,10 @@ def interval() -> int:
 class IntervalSampler:
     """Periodic reader of the registry's ``sampled`` instruments."""
 
-    __slots__ = ("every", "next_sample", "cycles", "series", "_sources")
+    __slots__ = ("every", "next_sample", "cycles", "series", "_sources",
+                 "emit")
 
-    def __init__(self, every: int):
+    def __init__(self, every: int, emit=None):
         if every < 1:
             raise ValueError(f"sampling interval must be >= 1, got {every}")
         self.every = every
@@ -51,6 +52,11 @@ class IntervalSampler:
         self.cycles: list[int] = []
         self.series: dict[str, list] = {}
         self._sources: list[tuple[list, object]] = []
+        #: Optional streaming callback ``emit(cycle, values)`` invoked at
+        #: every sample point with the freshly-read row, *before* any
+        #: decimation — the stream keeps what the bounded in-memory series
+        #: later thin out.
+        self.emit = emit
 
     def bind(self, sampled_items) -> None:
         """Attach the registry's ``sampled`` instruments (once, at build)."""
@@ -69,8 +75,14 @@ class IntervalSampler:
         """
         while self.next_sample < limit:
             self.cycles.append(self.next_sample)
-            for store, instrument in self._sources:
-                store.append(instrument.read())
+            if self.emit is None:
+                for store, instrument in self._sources:
+                    store.append(instrument.read())
+            else:
+                row = [instrument.read() for _, instrument in self._sources]
+                for (store, _), value in zip(self._sources, row):
+                    store.append(value)
+                self.emit(self.next_sample, row)
             self.next_sample += self.every
             if len(self.cycles) >= _SAMPLE_CAP:
                 self._decimate()

@@ -58,16 +58,24 @@ class TraceRecorder:
 
     All timestamps are CPU cycles (DRAM-domain recorders convert at the
     call site), so every lane shares one time axis.
+
+    When a streaming ``writer`` (:class:`repro.telemetry.stream.
+    StreamWriter`) is attached, every event is also spilled to disk
+    *before* the ring applies its drop-oldest policy, so the stream is
+    always a superset of the ring and never loses events to wrapping.
     """
 
-    __slots__ = ("events", "capacity", "dropped")
+    __slots__ = ("events", "capacity", "dropped", "writer")
 
-    def __init__(self, cap: int | None = None):
+    def __init__(self, cap: int | None = None, writer=None):
         self.capacity = cap if cap is not None else capacity()
         self.events: deque = deque(maxlen=self.capacity)
         self.dropped = 0
+        self.writer = writer
 
     def _push(self, event: tuple) -> None:
+        if self.writer is not None:
+            self.writer.event(event)
         if len(self.events) == self.capacity:
             self.dropped += 1
         self.events.append(event)
@@ -100,29 +108,33 @@ class TraceRecorder:
 # ------------------------------------------------------------------ export
 
 
+def event_dict(event: tuple) -> dict:
+    """One raw tuple -> its uniform dict (the JSONL record shape)."""
+    tag = event[0]
+    if tag == CMD:
+        _, ts, channel, rank, bank, kind, row, dur = event
+        return {"type": "dram_command", "ts": ts, "channel": channel,
+                "rank": rank, "bank": bank, "kind": kind, "row": row,
+                "dur": dur}
+    if tag == BLOCK:
+        _, ts, core, pc, dur = event
+        return {"type": "rob_block", "ts": ts, "core": core, "pc": pc,
+                "dur": dur}
+    if tag == PRED:
+        _, ts, core, pc, magnitude = event
+        return {"type": "cbp_prediction", "ts": ts, "core": core,
+                "pc": pc, "magnitude": magnitude}
+    if tag == CACHE:
+        _, ts, kind, core, line_addr = event
+        return {"type": "cache_event", "ts": ts, "kind": kind,
+                "core": core, "line": line_addr}
+    raise ValueError(f"unknown trace event tag {tag!r}")
+
+
 def _event_dicts(events):
     """Raw tuples -> uniform dicts (shared by JSONL and Chrome export)."""
     for event in events:
-        tag = event[0]
-        if tag == CMD:
-            _, ts, channel, rank, bank, kind, row, dur = event
-            yield {"type": "dram_command", "ts": ts, "channel": channel,
-                   "rank": rank, "bank": bank, "kind": kind, "row": row,
-                   "dur": dur}
-        elif tag == BLOCK:
-            _, ts, core, pc, dur = event
-            yield {"type": "rob_block", "ts": ts, "core": core, "pc": pc,
-                   "dur": dur}
-        elif tag == PRED:
-            _, ts, core, pc, magnitude = event
-            yield {"type": "cbp_prediction", "ts": ts, "core": core,
-                   "pc": pc, "magnitude": magnitude}
-        elif tag == CACHE:
-            _, ts, kind, core, line_addr = event
-            yield {"type": "cache_event", "ts": ts, "kind": kind,
-                   "core": core, "line": line_addr}
-        else:
-            raise ValueError(f"unknown trace event tag {tag!r}")
+        yield event_dict(event)
 
 
 def to_jsonl(events) -> str:
@@ -132,7 +144,75 @@ def to_jsonl(events) -> str:
     )
 
 
-def to_chrome_trace(events, label: str = "repro") -> dict:
+def _chrome_record(d: dict, named_pids: dict, named_tids: dict) -> dict:
+    """One event dict -> its Chrome record; updates the lane name maps."""
+    kind = d["type"]
+    if kind == "dram_command":
+        pid = 1 + d["channel"]
+        tid = d["rank"] * 32 + d["bank"]
+        named_pids.setdefault(pid, f"DRAM channel {d['channel']}")
+        named_tids.setdefault(
+            (pid, tid), f"rank {d['rank']} bank {d['bank']}"
+        )
+        return {
+            "name": f"{d['kind']} row={d['row']}", "cat": "dram", "ph": "X",
+            "ts": d["ts"], "dur": max(1, d["dur"]), "pid": pid, "tid": tid,
+            "args": {"kind": d["kind"], "row": d["row"]},
+        }
+    if kind == "rob_block":
+        pid = 1000 + d["core"]
+        named_pids.setdefault(pid, f"core {d['core']}")
+        named_tids.setdefault((pid, 0), "ROB head")
+        return {
+            "name": f"ROB block pc={d['pc']:#x}", "cat": "core", "ph": "X",
+            "ts": d["ts"], "dur": max(1, d["dur"]), "pid": pid, "tid": 0,
+            "args": {"pc": d["pc"], "stall": d["dur"]},
+        }
+    if kind == "cbp_prediction":
+        pid = 1000 + d["core"]
+        named_pids.setdefault(pid, f"core {d['core']}")
+        named_tids.setdefault((pid, 1), "CBP predictions")
+        return {
+            "name": f"critical pc={d['pc']:#x}", "cat": "cbp", "ph": "i",
+            "ts": d["ts"], "pid": pid, "tid": 1, "s": "t",
+            "args": {"pc": d["pc"], "magnitude": d["magnitude"]},
+        }
+    if kind == "cache_event":
+        pid = 2000
+        tid = CACHE_KINDS.index(d["kind"])
+        lane = ("L2 fills", "dirty evictions",
+                "coherence invalidations")[tid]
+        named_pids.setdefault(pid, "cache hierarchy")
+        named_tids.setdefault((pid, tid), lane)
+        return {
+            "name": f"{d['kind']} line={d['line']:#x}", "cat": "cache",
+            "ph": "i", "ts": d["ts"], "pid": pid, "tid": tid, "s": "t",
+            "args": {"kind": d["kind"], "core": d["core"],
+                     "line": d["line"]},
+        }
+    raise ValueError(f"unknown trace event type {kind!r}")
+
+
+def _metadata_records(named_pids: dict, named_tids: dict) -> list[dict]:
+    metadata: list[dict] = []
+    for pid, name in sorted(named_pids.items()):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+    for (pid, tid), name in sorted(named_tids.items()):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+    return metadata
+
+
+def _other_data(label: str, dropped: int) -> dict:
+    other = {"source": label, "clock": "cpu-cycles",
+             "truncated": dropped > 0}
+    if dropped:
+        other["dropped_events"] = dropped
+    return other
+
+
+def to_chrome_trace(events, label: str = "repro", dropped: int = 0) -> dict:
     """Chrome ``trace_event`` document (JSON-serialisable dict).
 
     Lanes: pid ``1 + channel`` per DRAM channel (tid = rank*32 + bank),
@@ -142,73 +222,62 @@ def to_chrome_trace(events, label: str = "repro") -> dict:
     Timestamps are CPU cycles rendered as microseconds (1 cycle ==
     1 "us"), which Perfetto displays fine and keeps the numbers
     readable.
+
+    ``dropped`` is the ring's drop-oldest count: when non-zero, the
+    document carries ``otherData.truncated = true`` so a partial window
+    is never silently presented as the whole run (stream the run via
+    ``REPRO_STREAM_DIR`` to capture every event instead).
     """
-    trace_events: list[dict] = []
     named_pids: dict[int, str] = {}
     named_tids: dict[tuple[int, int], str] = {}
-
-    for event in events:
-        tag = event[0]
-        if tag == CMD:
-            _, ts, channel, rank, bank, kind, row, dur = event
-            pid = 1 + channel
-            tid = rank * 32 + bank
-            named_pids.setdefault(pid, f"DRAM channel {channel}")
-            named_tids.setdefault((pid, tid), f"rank {rank} bank {bank}")
-            trace_events.append({
-                "name": f"{kind} row={row}", "cat": "dram", "ph": "X",
-                "ts": ts, "dur": max(1, dur), "pid": pid, "tid": tid,
-                "args": {"kind": kind, "row": row},
-            })
-        elif tag == BLOCK:
-            _, ts, core, pc, dur = event
-            pid = 1000 + core
-            named_pids.setdefault(pid, f"core {core}")
-            named_tids.setdefault((pid, 0), "ROB head")
-            trace_events.append({
-                "name": f"ROB block pc={pc:#x}", "cat": "core", "ph": "X",
-                "ts": ts, "dur": max(1, dur), "pid": pid, "tid": 0,
-                "args": {"pc": pc, "stall": dur},
-            })
-        elif tag == PRED:
-            _, ts, core, pc, magnitude = event
-            pid = 1000 + core
-            named_pids.setdefault(pid, f"core {core}")
-            named_tids.setdefault((pid, 1), "CBP predictions")
-            trace_events.append({
-                "name": f"critical pc={pc:#x}", "cat": "cbp", "ph": "i",
-                "ts": ts, "pid": pid, "tid": 1, "s": "t",
-                "args": {"pc": pc, "magnitude": magnitude},
-            })
-        elif tag == CACHE:
-            _, ts, kind, core, line_addr = event
-            pid = 2000
-            tid = CACHE_KINDS.index(kind)
-            lane = ("L2 fills", "dirty evictions",
-                    "coherence invalidations")[tid]
-            named_pids.setdefault(pid, "cache hierarchy")
-            named_tids.setdefault((pid, tid), lane)
-            trace_events.append({
-                "name": f"{kind} line={line_addr:#x}", "cat": "cache",
-                "ph": "i", "ts": ts, "pid": pid, "tid": tid, "s": "t",
-                "args": {"kind": kind, "core": core, "line": line_addr},
-            })
-        else:
-            raise ValueError(f"unknown trace event tag {tag!r}")
-
-    metadata: list[dict] = []
-    for pid, name in sorted(named_pids.items()):
-        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
-                         "tid": 0, "args": {"name": name}})
-    for (pid, tid), name in sorted(named_tids.items()):
-        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
-                         "tid": tid, "args": {"name": name}})
-
+    trace_events = [
+        _chrome_record(d, named_pids, named_tids) for d in _event_dicts(events)
+    ]
     return {
-        "traceEvents": metadata + trace_events,
+        "traceEvents": _metadata_records(named_pids, named_tids)
+        + trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"source": label, "clock": "cpu-cycles"},
+        "otherData": _other_data(label, dropped),
     }
+
+
+class ChromeTraceWriter:
+    """Incremental Chrome ``trace_event`` writer for streamed traces.
+
+    Emits the same document schema as :func:`to_chrome_trace`, but one
+    record at a time into an open file handle, so arbitrarily long
+    streamed traces finalize in bounded memory: lane-name metadata is
+    accumulated while events are appended and written on
+    :meth:`finalize` (Chrome/Perfetto accept metadata anywhere in the
+    stream).
+    """
+
+    def __init__(self, fh, label: str = "repro"):
+        self._fh = fh
+        self._label = label
+        self._named_pids: dict[int, str] = {}
+        self._named_tids: dict[tuple[int, int], str] = {}
+        self._count = 0
+        self._fh.write('{"traceEvents": [')
+
+    def add(self, record: dict) -> None:
+        """Append one event dict (the :func:`event_dict` shape)."""
+        chrome = _chrome_record(record, self._named_pids, self._named_tids)
+        prefix = ",\n" if self._count else "\n"
+        self._fh.write(prefix + json.dumps(chrome, sort_keys=True))
+        self._count += 1
+
+    def finalize(self, dropped: int = 0) -> None:
+        """Write lane metadata and close the document."""
+        for meta in _metadata_records(self._named_pids, self._named_tids):
+            prefix = ",\n" if self._count else "\n"
+            self._fh.write(prefix + json.dumps(meta, sort_keys=True))
+            self._count += 1
+        self._fh.write("\n], ")
+        self._fh.write('"displayTimeUnit": "ms", "otherData": ')
+        self._fh.write(json.dumps(_other_data(self._label, dropped),
+                                  sort_keys=True))
+        self._fh.write("}\n")
 
 
 _VALID_PHASES = {"X", "i", "M"}

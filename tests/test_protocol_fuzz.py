@@ -1,0 +1,218 @@
+"""Randomized protocol fuzz: perturbed timings through the shadow oracle.
+
+Generalizes the two hand-written injection self-tests in
+``tools/sanitize_smoke.py`` along both axes:
+
+* **clean sweep** — a seeded-RNG family of ~50 perturbed ``DramTimings``
+  variants (including tFAW/tRRD edge ratios: derived ``4*tRRD``, exactly
+  one cycle over, and wider windows) is driven through a real
+  ``ChannelController`` with the shadow JEDEC oracle attached.  The
+  controller and the oracle read the *same* config, so any violation is
+  a real scheduling bug, not a fixture artifact.
+* **forgery matrix** — for every timing field the oracle enforces, the
+  controller is rebuilt with that one field relaxed while the oracle
+  keeps the strict value; the oracle must object.  This proves each
+  per-field check is live (not vacuously green) without hand-editing
+  controller internals the way the smoke tool does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.protocol import ProtocolSanitizer, ProtocolViolation
+from repro.config import DDR3_1600, DramConfig
+from repro.dram.addressmap import DramLocation
+from repro.dram.controller import ChannelController
+from repro.dram.transaction import Transaction
+from repro.sched.frfcfs import FrFcfsScheduler
+
+N_VARIANTS = 50
+
+
+@pytest.fixture(autouse=True)
+def sanitize_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+# ----------------------------------------------------------- clean sweep
+
+
+def perturbed_timings(rng: random.Random) -> "DramTimings":
+    """One random-but-internally-consistent DDR3 timing variant.
+
+    Invariants a real datasheet always satisfies are preserved — tRAS
+    long enough to cover an ACT->READ->PRE sequence, ``tRC = tRAS + tRP``
+    (plus optional slack), tCCD no shorter than the burst, and tFAW
+    drawn from the interesting ratios around its ``4*tRRD`` floor.
+    """
+    tRCD = rng.randint(7, 20)
+    tCL = rng.randint(8, 16)
+    tWL = max(1, tCL - rng.randint(2, 5))
+    tCCD = rng.randint(4, 6)  # >= burst_cycles, as on every real part
+    tWTR = rng.randint(3, 10)
+    tWR = rng.randint(6, 18)
+    tRTP = rng.randint(3, 10)
+    tRP = rng.randint(7, 18)
+    tRRD = rng.randint(3, 9)
+    tRTRS = rng.randint(1, 4)
+    tRAS = tRCD + tRTP + rng.randint(1, 20)
+    tRC = tRAS + tRP + rng.randint(0, 8)
+    tFAW = rng.choice([
+        None,               # derived 4*tRRD floor
+        4 * tRRD,           # explicit floor
+        4 * tRRD + 1,       # one cycle over: the tightest binding window
+        5 * tRRD,
+        6 * tRRD + rng.randint(0, 5),
+    ])
+    return dataclasses.replace(
+        DDR3_1600,
+        name=f"fuzz-{rng.randrange(1 << 30)}",
+        tRCD=tRCD, tCL=tCL, tWL=tWL, tCCD=tCCD, tWTR=tWTR, tWR=tWR,
+        tRTP=tRTP, tRP=tRP, tRRD=tRRD, tRTRS=tRTRS, tRAS=tRAS, tRC=tRC,
+        tRFC=rng.randint(60, 160), tFAW=tFAW,
+    )
+
+
+def _drive_generic(config, rng, cycles=2500, sanitizer_config=None,
+                   txn_count=48):
+    """Mixed read/write, multi-rank/bank, row-conflicting workload."""
+    controller = ChannelController(0, config, FrFcfsScheduler())
+    assert controller.sanitizer is not None, "REPRO_SANITIZE=1 did not attach"
+    if sanitizer_config is not None:
+        controller.sanitizer = ProtocolSanitizer(sanitizer_config,
+                                                 channel_id=0)
+    txns = []
+    for i in range(txn_count):
+        loc = DramLocation(
+            0, rng.randrange(config.ranks_per_channel),
+            rng.randrange(config.banks_per_rank),
+            rng.choice((1, 1, 2, 3)), 0,
+        )
+        txns.append(Transaction(i << 6, loc, is_write=rng.random() < 0.3))
+    for now in range(cycles):
+        if txns and now % 6 == 0:
+            controller.enqueue(txns.pop(), now)
+        controller.step(now)
+    return controller
+
+
+@pytest.mark.parametrize("seed", range(N_VARIANTS))
+def test_perturbed_variant_runs_clean(seed):
+    rng = random.Random(0xFA3 + seed)
+    config = DramConfig(
+        channels=1, ranks_per_channel=2, banks_per_rank=4,
+        timings=perturbed_timings(rng),
+    )
+    controller = _drive_generic(config, rng)  # ProtocolViolation = failure
+    assert controller.sanitizer.commands > 80, (
+        "workload too small to be meaningful"
+    )
+    assert controller.sanitizer.checks > controller.sanitizer.commands
+
+
+# -------------------------------------------------------- forgery matrix
+
+#: Strict reference the oracle keeps while the controller is relaxed.
+#: tRC carries slack over tRAS+tRP (otherwise relaxing it alone changes
+#: nothing — the presets define tRC = tRAS + tRP exactly), tFAW is an
+#: explicit wide window (the derived 4*tRRD floor is unviolable by a
+#: tRRD-spaced controller), and tRTRS is widened so a rank switch
+#: actually binds.
+STRICT_TIMINGS = dataclasses.replace(
+    DDR3_1600,
+    tRC=DDR3_1600.tRAS + DDR3_1600.tRP + 10,
+    tFAW=4 * DDR3_1600.tRRD + 40,
+    tRTRS=4,
+)
+
+#: field -> the aggressively weakened value the relaxed controller uses.
+GENERIC_FORGERIES = {
+    "tRCD": 2,
+    "tCL": 5,
+    "tWL": 3,
+    "tCCD": 1,
+    "tWTR": 1,
+    "tWR": 2,
+    "tRP": 2,
+    "tRRD": 1,
+    "tRAS": 6,
+    "tRC": DDR3_1600.tRAS + DDR3_1600.tRP,  # slack removed
+    "tFAW": None,  # back to the derived floor, far under the strict window
+    "tRTRS": 0,
+}
+
+
+@pytest.mark.parametrize("field", sorted(GENERIC_FORGERIES))
+def test_single_field_forgery_is_caught(field):
+    strict = DramConfig(
+        channels=1, ranks_per_channel=2, banks_per_rank=4,
+        timings=STRICT_TIMINGS,
+    )
+    relaxed = dataclasses.replace(
+        strict,
+        timings=dataclasses.replace(
+            STRICT_TIMINGS, **{field: GENERIC_FORGERIES[field]}
+        ),
+    )
+    with pytest.raises(ProtocolViolation):
+        _drive_generic(relaxed, random.Random(7), sanitizer_config=strict)
+
+
+def test_trtp_forgery_is_caught():
+    """tRTP binds only when a conflict PRE chases a row-hit burst.
+
+    The default row-idle precharge policy (12 idle cycles) masks the
+    strict 6-cycle tRTP, so the relaxed controller also disables it —
+    a policy knob, not a protocol parameter, hence fair game.
+    """
+    strict = DramConfig(channels=1, ranks_per_channel=1, banks_per_rank=4,
+                        timings=DDR3_1600)
+    relaxed = dataclasses.replace(
+        strict,
+        timings=dataclasses.replace(DDR3_1600, tRTP=1),
+        row_idle_precharge_cycles=0,
+    )
+    controller = ChannelController(0, relaxed, FrFcfsScheduler())
+    controller.sanitizer = ProtocolSanitizer(strict, channel_id=0)
+    # Enough row hits to retire tRAS, then a conflict: the PRE lands one
+    # cycle after the last READ instead of the strict six.
+    for i in range(8):
+        controller.enqueue(Transaction(i << 6, DramLocation(0, 0, 0, 1, 0)), 0)
+    controller.enqueue(Transaction(9 << 6, DramLocation(0, 0, 0, 2, 0)), 0)
+    with pytest.raises(ProtocolViolation, match="tRTP"):
+        for now in range(400):
+            controller.step(now)
+
+
+def test_trfc_forgery_is_caught():
+    """An ACTIVATE slipped in behind a REF is flagged.
+
+    Needs continuous demand across the first refresh point (~6250 DRAM
+    cycles at DDR3-1600) so the relaxed controller has a reason to
+    activate while the strict recovery window is still open.
+    """
+    strict = DramConfig(channels=1, ranks_per_channel=1, banks_per_rank=4,
+                        timings=DDR3_1600)
+    relaxed = dataclasses.replace(
+        strict, timings=dataclasses.replace(DDR3_1600, tRFC=4)
+    )
+    controller = ChannelController(0, relaxed, FrFcfsScheduler())
+    controller.sanitizer = ProtocolSanitizer(strict, channel_id=0)
+    ids = itertools.count()
+    with pytest.raises(ProtocolViolation, match="refresh"):
+        for now in range(7000):
+            if now % 12 == 0:
+                i = next(ids)
+                controller.enqueue(
+                    Transaction(
+                        i << 6,
+                        DramLocation(0, 0, i % 4, 1 + (i // 4) % 3, 0),
+                    ),
+                    now,
+                )
+            controller.step(now)

@@ -7,7 +7,9 @@ import json
 import pytest
 
 from repro.telemetry.trace import (
+    ChromeTraceWriter,
     TraceRecorder,
+    event_dict,
     to_chrome_trace,
     to_jsonl,
     validate_chrome_trace,
@@ -104,6 +106,82 @@ class TestChromeTrace:
         doc = to_chrome_trace(t.events)
         read = next(e for e in doc["traceEvents"] if e["ph"] == "X")
         assert read["dur"] >= 1
+
+
+class TestTruncationMarker:
+    """A wrapped ring must be visible in every export surface."""
+
+    def test_complete_trace_marked_untruncated(self):
+        doc = to_chrome_trace(_sample_recorder().events, label="unit")
+        assert doc["otherData"]["truncated"] is False
+        assert "dropped_events" not in doc["otherData"]
+
+    def test_dropped_events_marked_truncated(self):
+        doc = to_chrome_trace(_sample_recorder().events, label="unit",
+                              dropped=86)
+        assert doc["otherData"]["truncated"] is True
+        assert doc["otherData"]["dropped_events"] == 86
+        assert validate_chrome_trace(doc) == []
+
+    def test_stats_cli_warns_when_ring_wrapped(self, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_CAP", "32")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert main(["stats", "fft", "--instructions", "800"]) == 0
+        err = capsys.readouterr().err
+        assert "ring wrapped" in err
+        assert "oldest" in err
+
+    def test_stats_cli_silent_when_ring_holds(self, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert main(["stats", "fft", "--instructions", "400"]) == 0
+        assert "ring wrapped" not in capsys.readouterr().err
+
+
+class TestIncrementalWriter:
+    """The streaming Chrome writer must match the one-shot exporter."""
+
+    def _one_shot(self, events, dropped=0):
+        return to_chrome_trace(events, label="unit", dropped=dropped)
+
+    def _incremental(self, events, dropped=0):
+        import io
+
+        fh = io.StringIO()
+        writer = ChromeTraceWriter(fh, label="unit")
+        for event in events:
+            writer.add(event_dict(event))
+        writer.finalize(dropped=dropped)
+        return json.loads(fh.getvalue())
+
+    @pytest.mark.parametrize("dropped", [0, 7])
+    def test_matches_one_shot_exporter(self, dropped):
+        """Same records, metadata, and otherData — position of the lane
+        metadata inside traceEvents is the only allowed difference."""
+        events = _sample_recorder().events
+        inc = self._incremental(events, dropped)
+        ref = self._one_shot(events, dropped)
+        def key(record):
+            return json.dumps(record, sort_keys=True)
+        assert sorted(map(key, inc.pop("traceEvents"))) == \
+            sorted(map(key, ref.pop("traceEvents")))
+        assert inc == ref  # displayTimeUnit + otherData (incl. truncated)
+
+    def test_empty_stream_still_valid_json(self):
+        import io
+
+        fh = io.StringIO()
+        writer = ChromeTraceWriter(fh, label="empty")
+        writer.finalize()
+        doc = json.loads(fh.getvalue())
+        assert doc["otherData"]["truncated"] is False
+        # Only metadata lanes; the schema validator tolerates that.
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
 
 
 class TestValidator:

@@ -2,15 +2,21 @@
 """Telemetry smoke check: traced + sampled run must produce valid output,
 and the disabled path must stay cheap.
 
-Three gates, run by CI's ``telemetry`` job:
+Four gates, run by CI's ``telemetry`` job:
 
 1. A short run with ``REPRO_TRACE=1`` and ``REPRO_SAMPLE_EVERY`` set must
    yield a Chrome ``trace_event`` document that passes
    :func:`repro.telemetry.trace.validate_chrome_trace`, non-empty latency
    histograms, and an aligned sample/time-series matrix.
-2. The same run with telemetry disabled must carry *no* telemetry
-   artifacts (empty series and trace) — the knobs actually gate.
-3. Overhead guard: the telemetry-disabled run's wall clock must stay
+2. Streaming: the same run with ``REPRO_STREAM_DIR`` set and a ring cap
+   small enough to wrap must stream *every* event (ring tail a byte
+   suffix of the stream), leave a ``complete`` manifest, and finalize to
+   a schema-valid Chrome document whose ``otherData`` carries the
+   ``truncated`` marker.
+3. The same run with telemetry disabled must carry *no* telemetry
+   artifacts (empty series, trace, and no stream directory writes) —
+   the knobs actually gate.
+4. Overhead guard: the telemetry-disabled run's wall clock must stay
    within ``--max-overhead`` (default 1.10) of the fastest of three
    baseline-shaped repeats, catching accidental hot-loop work behind
    disabled knobs.
@@ -91,8 +97,84 @@ def traced_run_is_valid(app, instructions) -> int:
     return failures
 
 
+def streamed_run_is_complete(app, instructions) -> int:
+    import shutil
+    import tempfile
+
+    from repro.telemetry import stream as stream_mod
+    from repro.telemetry.trace import to_jsonl, validate_chrome_trace
+
+    directory = Path(tempfile.mkdtemp(prefix="repro-stream-smoke-"))
+    os.environ.update({
+        "REPRO_TRACE": "1",
+        "REPRO_TRACE_CAP": "128",
+        "REPRO_SAMPLE_EVERY": "256",
+        "REPRO_STREAM_DIR": str(directory),
+        "REPRO_STREAM_SEGMENT": "64",
+    })
+    try:
+        result = _run(app, instructions)
+    finally:
+        for knob in ("REPRO_TRACE", "REPRO_TRACE_CAP", "REPRO_SAMPLE_EVERY",
+                     "REPRO_STREAM_DIR", "REPRO_STREAM_SEGMENT"):
+            del os.environ[knob]
+
+    failures = 0
+    try:
+        manifest = stream_mod.read_manifest(directory)
+        if manifest["status"] != "complete":
+            print(f"FAIL stream manifest status {manifest['status']!r}")
+            failures += 1
+
+        streamed = "".join(
+            json.dumps(r, sort_keys=True) + "\n"
+            for r in stream_mod.iter_records(directory, "events")
+        )
+        total = len(streamed.splitlines())
+        expected = len(result.trace_events) + result.trace_dropped
+        if result.trace_dropped == 0:
+            print("FAIL ring did not wrap; raise --instructions")
+            failures += 1
+        if total != expected or not streamed.endswith(
+            to_jsonl(result.trace_events)
+        ):
+            print(f"FAIL stream lost events ({total} streamed, "
+                  f"{expected} emitted)")
+            failures += 1
+        else:
+            print(f"ok   stream kept all {total} events "
+                  f"(ring held {len(result.trace_events)}, "
+                  f"{result.trace_dropped} dropped from it)")
+
+        out = directory / "chrome.json"
+        summary = stream_mod.finalize_chrome(directory, out)
+        doc = json.loads(out.read_text())
+        problems = validate_chrome_trace(doc)
+        if problems or summary["events"] != total:
+            for problem in problems[:10]:
+                print(f"FAIL streamed chrome schema: {problem}")
+            failures += 1
+        elif not doc["otherData"]["truncated"]:
+            print("FAIL truncated marker missing from streamed export")
+            failures += 1
+        else:
+            print(f"ok   streamed chrome export valid "
+                  f"({summary['events']} events, truncated marker set)")
+
+        cycles, series = stream_mod.read_samples(directory)
+        if cycles != result.sample_cycles or not series:
+            print("FAIL streamed samples disagree with in-memory series")
+            failures += 1
+        else:
+            print(f"ok   {len(cycles)} streamed samples x "
+                  f"{len(series)} series match the run")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return failures
+
+
 def disabled_run_is_clean_and_cheap(app, instructions, max_overhead) -> int:
-    for knob in ("REPRO_TRACE", "REPRO_SAMPLE_EVERY"):
+    for knob in ("REPRO_TRACE", "REPRO_SAMPLE_EVERY", "REPRO_STREAM_DIR"):
         os.environ.pop(knob, None)
 
     failures = 0
@@ -134,6 +216,7 @@ def main() -> int:
     args = parser.parse_args()
 
     failures = traced_run_is_valid(args.app, args.instructions)
+    failures += streamed_run_is_complete(args.app, args.instructions)
     failures += disabled_run_is_clean_and_cheap(
         args.app, args.instructions, args.max_overhead
     )
