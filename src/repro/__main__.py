@@ -7,6 +7,8 @@
     python -m repro lint [paths...]            # simulator-specific AST lint
     python -m repro analyze [paths...]         # whole-program semantic analysis
     python -m repro check-determinism fft      # cross-mode/-process chains
+    python -m repro profile fft                # cProfile + component report
+    python -m repro profile fft --engines fast,event   # engine A/B timing
     python -m repro stats fft --sample-every 256   # telemetry summaries
     python -m repro trace fft --out timeline.json  # Chrome/Perfetto trace
     python -m repro trace fft --stream DIR         # stream events while running
@@ -38,6 +40,8 @@ def _apply_engine_flags(args) -> None:
         os.environ["REPRO_NO_CACHE"] = "1"
     if getattr(args, "no_skip", False):
         os.environ["REPRO_NO_SKIP"] = "1"
+    if getattr(args, "engine", None):
+        os.environ["REPRO_ENGINE"] = args.engine
     if getattr(args, "verify_skip", False):
         os.environ["REPRO_VERIFY_SKIP"] = "1"
     if getattr(args, "stream", None):
@@ -54,6 +58,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-skip", action="store_true",
                         help="disable cycle fast-forwarding "
                              "(env REPRO_NO_SKIP)")
+    parser.add_argument("--engine", default=None,
+                        choices=("naive", "fast", "event"),
+                        help="simulation loop: naive cycle-by-cycle, "
+                             "fast (skip windows), or event (wake heap; "
+                             "the default) — all bit-identical "
+                             "(env REPRO_ENGINE)")
     parser.add_argument("--verify-skip", action="store_true",
                         help="cross-check fast-forwarded runs against the "
                              "cycle-by-cycle loop (env REPRO_VERIFY_SKIP)")
@@ -301,6 +311,12 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.sim.profile import main as profile_main
+
+    return profile_main(args)
+
+
 def _cmd_watch(args) -> int:
     from repro.telemetry.monitor import watch
 
@@ -415,6 +431,29 @@ def build_parser() -> argparse.ArgumentParser:
     watch_p.add_argument("--frames", type=int, default=None, metavar="N",
                          help="exit after N refreshes (for CI)")
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile one workload run and attribute time per component",
+    )
+    prof_p.add_argument("app", help="parallel workload to profile")
+    prof_p.add_argument("--scheduler", default="fr-fcfs")
+    prof_p.add_argument("--cbp", type=int, default=0,
+                        help="CBP entries (0 disables the predictor)")
+    prof_p.add_argument("--instructions", type=int, default=12_000)
+    prof_p.add_argument("--seed", type=int, default=1)
+    prof_p.add_argument("--top", type=int, default=15, metavar="N",
+                        help="top functions to list by tottime")
+    prof_p.add_argument("--engine", default=None,
+                        choices=("naive", "fast", "event"),
+                        help="loop implementation to profile "
+                             "(env REPRO_ENGINE)")
+    prof_p.add_argument("--engines", default=None, metavar="A,B,...",
+                        help="instead of profiling, time one run per "
+                             "engine and report speedups + identity "
+                             "(e.g. --engines fast,event)")
+    prof_p.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON")
+
     det_p = sub.add_parser(
         "check-determinism",
         help="compare determinism hash-chains across loop modes and processes",
@@ -425,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
     det_p.add_argument("--seed", type=int, default=1)
     det_p.add_argument("--no-subprocess", action="store_true",
                        help="skip the fresh-subprocess comparison")
+    det_p.add_argument("--engine", default=None,
+                       choices=("naive", "fast", "event"),
+                       help="reference loop for the comparison "
+                            "(env REPRO_ENGINE)")
 
     return parser
 
@@ -441,6 +484,7 @@ def main(argv=None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "watch": _cmd_watch,
+        "profile": _cmd_profile,
         "check-determinism": _cmd_check_determinism,
     }
     return handlers[args.command](args)
