@@ -42,7 +42,11 @@ TARGET_CLASS_NAMES = {
 }
 
 #: Methods whose attribute reads count as chain/telemetry coverage.
-COVERAGE_METHODS = {"det_state", "snapshot", "register_metrics"}
+#: ``det_state_scan`` is the full-walk reference implementation of the
+#: incrementally maintained cache det_state words — state it reads is
+#: folded (via the incremental words it is asserted equal to).
+COVERAGE_METHODS = {"det_state", "det_state_scan", "snapshot",
+                    "register_metrics"}
 
 #: Container methods that mutate their receiver in place.
 MUTATORS = {
@@ -77,6 +81,10 @@ ALLOWLIST: dict[tuple[str, str], str] = {
     ("OutOfOrderCore", "_fu_booked"):
         "FU reservation table derived from the issue schedule; pruned "
         "on a fixed cycle mask",
+    ("OutOfOrderCore", "_wake_hook"):
+        "wiring-time engine callback installed while the core is "
+        "quiescent (see MemoryHierarchy._wake_core); not simulation "
+        "state — it only tells the wake-driven loop to revisit",
     # -- Bank -------------------------------------------------------------
     ("Bank", "row_hits"):
         "row-locality statistic; excluded from the chain by design "
@@ -100,6 +108,13 @@ ALLOWLIST: dict[tuple[str, str], str] = {
     ("MemorySystem", "_dram_done"):
         "clock-boundary bookkeeping: a pure function of how far the "
         "cpu clock has advanced, never of simulated state",
+    ("MemorySystem", "_chan_wake"):
+        "wake-driven clocking bookkeeping: derived from enqueue times "
+        "and channel next_wake(), whose inputs (queues, refresh "
+        "deadlines) are already folded via each channel's det_state",
+    ("MemorySystem", "_chan_settled"):
+        "lazy settlement cursor for idle occupancy samples, which are "
+        "statistics excluded from the chain (see account_idle)",
     # -- MemoryHierarchy --------------------------------------------------
     ("MemoryHierarchy", "_now"):
         "mirror of the system clock installed via bind_clock; the "

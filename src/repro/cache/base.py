@@ -6,7 +6,13 @@ from repro.config import CacheConfig
 
 
 class CacheLine:
-    """One resident line: coherence state, dirtiness, recency."""
+    """One resident line: coherence state, dirtiness, recency.
+
+    ``state`` and ``dirty`` feed the owning cache's incrementally
+    maintained det-state words; mutate them through
+    :meth:`SetAssociativeCache.set_line_state` /
+    :meth:`SetAssociativeCache.set_line_dirty`, never directly.
+    """
 
     __slots__ = ("state", "dirty", "lru")
 
@@ -18,7 +24,15 @@ class CacheLine:
 
 class SetAssociativeCache:
     """Tag array + LRU state.  Addresses are byte addresses; the cache
-    computes its own line/set decomposition from its configuration."""
+    computes its own line/set decomposition from its configuration.
+
+    The determinism-chain words (resident count, dirty count, per-line
+    checksum) are maintained incrementally on every mutation instead of
+    being recomputed by walking every set at each chain sample — the
+    walk was the single hottest function in whole-run profiles.  The
+    slow full scan survives as :meth:`det_state_scan` and is asserted
+    equal to the incremental words in the test suite.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -31,6 +45,10 @@ class SetAssociativeCache:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        # Incremental det-state words (see det_state).
+        self._resident = 0
+        self._dirty = 0
+        self._checksum = 0
 
     # -- address helpers -----------------------------------------------------
 
@@ -51,6 +69,7 @@ class SetAssociativeCache:
             return None
         if touch:
             self._clock += 1
+            self._checksum += 131 * (self._clock - line.lru)
             line.lru = self._clock
         self.hits += 1
         return line
@@ -74,21 +93,56 @@ class SetAssociativeCache:
         self._clock += 1
         existing = cache_set.get(line_addr)
         if existing is not None:
+            self._checksum += 7 * (ord(state[0]) - ord(existing.state[0]))
             existing.state = state
-            existing.dirty = existing.dirty or dirty
+            if dirty and not existing.dirty:
+                self._dirty += 1
+                existing.dirty = True
+            self._checksum += 131 * (self._clock - existing.lru)
             existing.lru = self._clock
             return None
         victim = None
         if len(cache_set) >= self.ways:
             victim_addr = min(cache_set, key=lambda a: cache_set[a].lru)
-            victim = (victim_addr, cache_set.pop(victim_addr))
+            victim_line = cache_set.pop(victim_addr)
+            self._drop_words(victim_addr, victim_line)
+            victim = (victim_addr, victim_line)
         cache_set[line_addr] = CacheLine(state=state, dirty=dirty, lru=self._clock)
+        self._resident += 1
+        if dirty:
+            self._dirty += 1
+        self._checksum += line_addr + 131 * self._clock + 7 * ord(state[0])
         return victim
 
     def invalidate(self, address: int) -> CacheLine | None:
         """Remove the line covering ``address``; returns it if present."""
         line_addr = self.line_addr(address)
-        return self._sets[self._set_index(line_addr)].pop(line_addr, None)
+        line = self._sets[self._set_index(line_addr)].pop(line_addr, None)
+        if line is not None:
+            self._drop_words(line_addr, line)
+        return line
+
+    def _drop_words(self, line_addr: int, line: CacheLine) -> None:
+        """Remove a departing line's contribution to the det-state words."""
+        self._resident -= 1
+        if line.dirty:
+            self._dirty -= 1
+        self._checksum -= line_addr + 131 * line.lru + 7 * ord(line.state[0])
+
+    # -- mediated line mutation ----------------------------------------------
+
+    def set_line_state(self, line: CacheLine, state: str) -> None:
+        """Change a resident line's coherence state (keeps the checksum
+        current; never assign ``line.state`` directly)."""
+        self._checksum += 7 * (ord(state[0]) - ord(line.state[0]))
+        line.state = state
+
+    def set_line_dirty(self, line: CacheLine, dirty: bool = True) -> None:
+        """Change a resident line's dirty bit (keeps the dirty count
+        current; never assign ``line.dirty`` directly)."""
+        if line.dirty != dirty:
+            self._dirty += 1 if dirty else -1
+            line.dirty = dirty
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -97,10 +151,20 @@ class SetAssociativeCache:
         """Architectural state words for the determinism hash-chain.
 
         Tag-array contents and LRU clocks only move inside lookup/insert/
-        invalidate — all driven from stepped cycles — so these words are
-        constant across quiescent fast-forward windows.  The per-line
-        checksum is a sum, making it independent of set/dict iteration
-        order.  Hit/miss counters are statistics and stay excluded.
+        invalidate (and the mediated line mutators) — all driven from
+        stepped cycles — so these words are constant across quiescent
+        fast-forward windows.  The per-line checksum is a sum, making it
+        independent of set/dict iteration order.  Hit/miss counters are
+        statistics and stay excluded.
+        """
+        return [self._clock, self._resident, self._dirty, self._checksum]
+
+    def det_state_scan(self) -> list[int]:
+        """The same four words recomputed by a full tag-array walk.
+
+        Reference implementation for the incremental bookkeeping; the
+        equivalence test drives a workload and asserts
+        ``det_state() == det_state_scan()`` for every cache.
         """
         resident = 0
         dirty = 0

@@ -187,12 +187,12 @@ class MemoryHierarchy:
                 self._store_backlog[core] -= 1
                 self._wake_core(core)
             if line.state == "M":
-                line.dirty = True
+                l1.set_line_dirty(line)
                 return
             # Upgrade S -> M: invalidate remote sharers.
             self._invalidate_remote(core, line32)
-            line.state = "M"
-            line.dirty = True
+            l1.set_line_state(line, "M")
+            l1.set_line_dirty(line)
             return
         # Write-allocate: read-for-ownership through the miss path.
         mshr = self.l1_mshr[core]
@@ -371,7 +371,7 @@ class MemoryHierarchy:
                     # Writeback to L2, downgrade (or invalidate on RFO).
                     l2line = self.l2.peek(line64)
                     if l2line is not None:
-                        l2line.dirty = True
+                        self.l2.set_line_dirty(l2line)
                     penalty = INTERVENTION_PENALTY
                     self.stats.interventions += 1
                     if is_rfo:
@@ -380,8 +380,8 @@ class MemoryHierarchy:
                         self.stats.invalidations += 1
                         self._trace_cache("inval", other, line32)
                     else:
-                        other_line.state = "S"
-                        other_line.dirty = False
+                        self.l1[other].set_line_state(other_line, "S")
+                        self.l1[other].set_line_dirty(other_line, False)
                 elif is_rfo:
                     self.l1[other].invalidate(line32)
                     sharers.discard(other)
@@ -401,7 +401,7 @@ class MemoryHierarchy:
                 if other_line.state == "M":
                     l2line = self.l2.peek(self.l2.line_addr(line32))
                     if l2line is not None:
-                        l2line.dirty = True
+                        self.l2.set_line_dirty(l2line)
                 self.stats.invalidations += 1
                 self._trace_cache("inval", other, line32)
             sharers.discard(other)
@@ -417,7 +417,7 @@ class MemoryHierarchy:
         if line.dirty or line.state == "M":
             l2line = self.l2.peek(self.l2.line_addr(line_addr))
             if l2line is not None:
-                l2line.dirty = True
+                self.l2.set_line_dirty(l2line)
 
     def _evict_l2_line(self, line64, line) -> None:
         dirty = line.dirty

@@ -134,6 +134,15 @@ class OutOfOrderCore:
         self._sq_used = 0
         self._fetch_blocker: _Slot | None = None
         self._fetch_resume = 0
+        # Hot-path copies of per-run-constant configuration (attribute
+        # loads off ``self`` are cheaper than two-level ``config`` reads
+        # in the per-cycle stages).
+        self._fetch_width = config.fetch_width
+        self._commit_width = config.commit_width
+        self._rob_entries = config.rob_entries
+        self._lq_entries = config.load_queue_entries
+        self._sq_entries = config.store_queue_entries
+        self._misp_penalty = config.branch_mispredict_penalty
         self.stats = CoreStats()
         self.done = False
         # Cycle-skipping state (see skip_plan): while quiescent the system
@@ -149,6 +158,10 @@ class OutOfOrderCore:
         # Duck-typed providers without next_tick_cycle have unknown tick
         # semantics; such cores are never skipped (skip_plan bails).
         self._next_tick = getattr(self.provider, "next_tick_cycle", None)
+        # Wake subscription (event engine): installed while the core is
+        # quiescent; called whenever ``skip_until`` is cleared so the
+        # engine learns about external wakes without scanning cores.
+        self._wake_hook = None
         # Event-trace recorder (attached by System under REPRO_TRACE=1).
         self.tracer = None
 
@@ -177,10 +190,13 @@ class OutOfOrderCore:
     def _complete_at(self, slot: _Slot, cycle: int) -> None:
         """Mark ``slot`` complete at ``cycle`` and wake its dependents."""
         self.skip_until = 0  # completions can unblock commit/dispatch
+        hook = self._wake_hook
+        if hook is not None:
+            hook(self)
         self._complete[slot.idx] = cycle
         if slot is self._fetch_blocker:
             self._fetch_blocker = None
-            self._fetch_resume = cycle + self.config.branch_mispredict_penalty
+            self._fetch_resume = cycle + self._misp_penalty
         waiters = slot.waiters
         if waiters:
             for dep in waiters:
@@ -241,7 +257,7 @@ class OutOfOrderCore:
         rob = self._rob
         complete = self._complete
         committed = 0
-        width = self.config.commit_width
+        width = self._commit_width
         while committed < width and self._rob_head < len(rob):
             head = rob[self._rob_head]
             done_cycle = complete[head.idx]
@@ -292,27 +308,30 @@ class OutOfOrderCore:
         if self._fetch_blocker is not None or now < self._fetch_resume:
             self.stats.dispatch_stall_cycles += 1
             return
-        config = self.config
         trace = self.trace
-        rob_limit = config.rob_entries
+        rob = self._rob
+        rob_limit = self._rob_entries
+        fetch_width = self._fetch_width
+        itypes = trace.itypes
+        n = self._n
         dispatched = 0
         counted_lq_full = False
-        while dispatched < config.fetch_width and self._ptr < self._n:
-            if self._rob_occupancy() >= rob_limit:
+        while dispatched < fetch_width and self._ptr < n:
+            if len(rob) - self._rob_head >= rob_limit:
                 self.stats.rob_full_cycles += 1
                 break
             i = self._ptr
-            itype = trace.itypes[i]
-            if itype == LOAD and self._lq_used >= config.load_queue_entries:
+            itype = itypes[i]
+            if itype == LOAD and self._lq_used >= self._lq_entries:
                 if not counted_lq_full:
                     self.stats.lq_full_cycles += 1
                     counted_lq_full = True
                 break
-            if itype == STORE and self._sq_used >= config.store_queue_entries:
+            if itype == STORE and self._sq_used >= self._sq_entries:
                 break
             slot = _Slot(i, itype, trace.pcs[i], trace.addrs[i], now)
             self._resolve_deps(slot, trace.dep1[i], trace.dep2[i])
-            self._rob.append(slot)
+            rob.append(slot)
             self._slot_by_idx[i] = slot
             if itype == LOAD:
                 self._lq_used += 1
@@ -428,15 +447,15 @@ class OutOfOrderCore:
             fetch_resume = self._fetch_resume
             stall = 1
         elif self._ptr < self._n:
-            if self._rob_occupancy() >= self.config.rob_entries:
+            if self._rob_occupancy() >= self._rob_entries:
                 rob_full = 1
             else:
                 itype = self.trace.itypes[self._ptr]
-                if itype == LOAD and self._lq_used >= self.config.load_queue_entries:
+                if itype == LOAD and self._lq_used >= self._lq_entries:
                     lq_full = 1
                 elif (
                     itype == STORE
-                    and self._sq_used >= self.config.store_queue_entries
+                    and self._sq_used >= self._sq_entries
                 ):
                     pass  # dispatch stalls silently on a full store queue
                 else:
@@ -471,6 +490,9 @@ class OutOfOrderCore:
     def wake_skip(self) -> None:
         """External state change: the core must be stepped again."""
         self.skip_until = 0
+        hook = self._wake_hook
+        if hook is not None:
+            hook(self)
 
     def flush_skip(self, now: int) -> None:
         """Settle the stat increments owed for cycles skipped before ``now``."""

@@ -460,6 +460,14 @@ class MemorySystem:
             for c in range(config.channels)
         ]
         self._ratio = config.cpu_ratio
+        # Wake-driven clocking (the event engine, see repro.sim.system):
+        # per channel, the DRAM cycle at which it must next be stepped and
+        # the DRAM cycle *after* the last one whose idle occupancy sample
+        # has been accounted.  ``try_enqueue`` keeps the wake current in
+        # every engine, so the bookkeeping never needs re-wiring when the
+        # loop implementation is switched mid-experiment.
+        self._chan_wake = [0] * config.channels
+        self._chan_settled = [0] * config.channels
 
     # -- request path -----------------------------------------------------------
 
@@ -468,10 +476,19 @@ class MemorySystem:
 
     def try_enqueue(self, txn: Transaction, cpu_now: int) -> bool:
         """Queue ``txn`` if its channel has room; False => caller retries."""
-        channel = self.channels[txn.loc.channel]
+        ch = txn.loc.channel
+        channel = self.channels[ch]
         if not channel.can_accept(txn.is_write):
             return False
         channel.enqueue(txn, cpu_now // self._ratio)
+        # Wake registration: the channel becomes serviceable at the first
+        # DRAM edge at or after ``cpu_now``.  Enqueues only happen in the
+        # event phase — before :meth:`step_event` for the same cycle — so
+        # an enqueue landing exactly on an edge is serviced at that edge,
+        # matching the per-cycle loops.
+        wake = (cpu_now + self._ratio - 1) // self._ratio
+        if wake < self._chan_wake[ch]:
+            self._chan_wake[ch] = wake
         return True
 
     # -- clocking ----------------------------------------------------------------
@@ -530,3 +547,61 @@ class MemorySystem:
             return
         for channel in self.channels:
             channel.account_idle(edges)
+
+    # -- wake-driven clocking (event engine) -------------------------------------
+
+    def step_event(self, cpu_now: int) -> None:
+        """Like :meth:`step`, but only steps channels that are *due*.
+
+        A channel is due when its registered wake (``_chan_wake``, kept
+        current by :meth:`try_enqueue` and by ``next_wake`` after every
+        step) has arrived.  A non-due channel has empty queues, no refresh
+        in flight, and every per-rank refresh deadline in the future, so
+        the step it skips would have done exactly one thing: sample an
+        occupancy of zero (``queue_samples += 1``).  That sample is
+        settled lazily — :meth:`ChannelController.account_idle` on the
+        next step or at :meth:`settle_idle` — which is bit-identical
+        because occupancy accumulators are statistics outside the
+        determinism chain and deliberately never sampled by telemetry
+        (see :meth:`ChannelController.register_metrics`).
+        """
+        if cpu_now % self._ratio:
+            return
+        dram_now = cpu_now // self._ratio
+        wakes = self._chan_wake
+        settled = self._chan_settled
+        for i, channel in enumerate(self.channels):
+            if wakes[i] > dram_now:
+                continue
+            gap = dram_now - settled[i]
+            if gap > 0:
+                channel.account_idle(gap)
+            channel.step(dram_now)
+            settled[i] = dram_now + 1
+            wakes[i] = channel.next_wake(dram_now)
+
+    def wake_cpu(self, cpu_now: int) -> int:
+        """O(channels) equivalent of :meth:`next_wake_cpu` for the event
+        engine: earliest CPU cycle > ``cpu_now`` at which stepping a
+        channel matters, read from the registered wakes instead of
+        re-deriving every channel's ``next_wake``."""
+        ratio = self._ratio
+        next_edge = (cpu_now // ratio + 1) * ratio
+        wake = min(self._chan_wake) * ratio
+        return wake if wake > next_edge else next_edge
+
+    def settle_idle(self, cpu_end: int) -> None:
+        """Account every not-yet-settled idle edge before ``cpu_end``.
+
+        The per-cycle loops sample channel occupancy at every DRAM edge in
+        ``[0, cpu_end)``; the event engine defers idle samples, so the end
+        of the run (or any point statistics are read) must settle the
+        tail.
+        """
+        edge_count = (cpu_end - 1) // self._ratio + 1 if cpu_end > 0 else 0
+        settled = self._chan_settled
+        for i, channel in enumerate(self.channels):
+            gap = edge_count - settled[i]
+            if gap > 0:
+                channel.account_idle(gap)
+                settled[i] = edge_count

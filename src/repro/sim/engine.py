@@ -13,11 +13,12 @@ plus a hash of the simulator's own source files, so editing the model
 invalidates every cached result automatically.  The telemetry
 configuration fingerprint (sampling interval, trace on/off and capacity)
 is part of the key too: a run cached without sampling must not satisfy a
-request that expects time-series on the result.  Since the
-fast-forwarding loop is bit-identical to the naive loop, the skip
-setting is deliberately *not* part of the key — and neither is the
-telemetry *streaming* configuration (``REPRO_STREAM_DIR`` /
-``RunSpec.stream_dir``), which only mirrors telemetry to disk.
+request that expects time-series on the result.  Since every loop
+implementation (naive, fast, event) is bit-identical, the engine
+selection (``RunSpec.engine`` / ``REPRO_ENGINE``) and the skip setting
+are deliberately *not* part of the key — and neither is the telemetry
+*streaming* configuration (``REPRO_STREAM_DIR`` / ``RunSpec.stream_dir``),
+which only mirrors telemetry to disk.
 
 Environment knobs:
 
@@ -70,6 +71,12 @@ class RunSpec:
     satisfies a streaming spec from the cache it writes a
     ``cache-replay`` marker manifest instead, so ``repro watch`` can
     explain why no stream is coming.
+
+    ``engine`` pins the loop implementation (``naive``/``fast``/
+    ``event``) for this run; ``None`` defers to ``REPRO_ENGINE`` and
+    the default.  Like the skip setting, it is *not* part of the cache
+    key: all engines produce bit-identical results, so they share one
+    cache slot.
     """
 
     kind: str  # "parallel" | "bundle" | "alone"
@@ -82,6 +89,7 @@ class RunSpec:
     slot: int | None = None
     label: str | None = None
     stream_dir: str | None = None
+    engine: str | None = None
 
 
 # --------------------------------------------------------------- cache keys
@@ -229,21 +237,28 @@ def _pickle_result(result: SimResult) -> bytes:
 def run_one(spec: RunSpec) -> SimResult:
     """Execute one spec in-process (no caching).
 
-    A spec with ``stream_dir`` set exports it as ``REPRO_STREAM_DIR``
-    for the duration of the run (restored afterwards), so streaming
-    requests survive the trip through worker processes.
+    A spec with ``stream_dir`` or ``engine`` set exports it as
+    ``REPRO_STREAM_DIR`` / ``REPRO_ENGINE`` for the duration of the run
+    (restored afterwards), so those requests survive the trip through
+    worker processes.
     """
-    if spec.stream_dir is None:
+    overrides = {}
+    if spec.stream_dir is not None:
+        overrides["REPRO_STREAM_DIR"] = spec.stream_dir
+    if spec.engine is not None:
+        overrides["REPRO_ENGINE"] = spec.engine
+    if not overrides:
         return _dispatch(spec)
-    saved = os.environ.get("REPRO_STREAM_DIR")
-    os.environ["REPRO_STREAM_DIR"] = spec.stream_dir
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
     try:
         return _dispatch(spec)
     finally:
-        if saved is None:
-            os.environ.pop("REPRO_STREAM_DIR", None)
-        else:
-            os.environ["REPRO_STREAM_DIR"] = saved
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def _dispatch(spec: RunSpec) -> SimResult:
@@ -419,30 +434,46 @@ def run_many(
 
 
 def verify_determinism(spec: RunSpec, subprocess: bool = True) -> dict:
-    """Run ``spec`` three ways and compare determinism hash-chains.
+    """Run ``spec`` on every engine and compare determinism hash-chains.
 
-    The reference run uses the default fast-forwarding loop in-process;
-    it is compared against (a) the cycle-by-cycle loop in-process and
-    (b) the fast-forwarding loop in a freshly forked worker process.
+    The reference run uses the spec's engine (default: the resolved
+    session engine, normally ``event``) in-process; it is compared
+    against (a) each of the other loop implementations in-process and
+    (b) the reference engine in a freshly forked worker process.
     Returns a report dict: ``ok``, the reference ``chain`` digest, and a
     ``runs`` list with each comparison's verdict and — on divergence —
     the earliest diverging checkpoint from
     :func:`repro.analysis.detchain.first_divergence`.
     """
     from repro.analysis.detchain import first_divergence
+    from repro.sim.runner import _resolve_engine
     from repro.sim.stats import result_fingerprint
 
+    ref_engine = spec.engine or _resolve_engine()
     reference = run_one(spec)
     comparisons: list[tuple[str, SimResult]] = []
 
-    saved = os.environ.get("REPRO_NO_SKIP")
-    os.environ["REPRO_NO_SKIP"] = "1"
+    # REPRO_NO_SKIP would force every comparison run back to the naive
+    # loop, making the cross-engine check vacuous; lift it while the
+    # explicitly-pinned engines run.
+    saved = os.environ.pop("REPRO_NO_SKIP", None)
     try:
-        comparisons.append(("cycle-by-cycle loop", run_one(spec)))
+        names = {
+            "naive": "naive cycle-by-cycle loop",
+            "fast": "fast-forwarding loop",
+            "event": "event (wake-heap) loop",
+        }
+        for engine in ("naive", "fast", "event"):
+            if engine == ref_engine:
+                continue
+            comparisons.append(
+                (
+                    names[engine],
+                    run_one(dataclasses.replace(spec, engine=engine)),
+                )
+            )
     finally:
-        if saved is None:
-            os.environ.pop("REPRO_NO_SKIP", None)
-        else:
+        if saved is not None:
             os.environ["REPRO_NO_SKIP"] = saved
 
     if subprocess:
@@ -461,6 +492,7 @@ def verify_determinism(spec: RunSpec, subprocess: bool = True) -> dict:
 
     report = {
         "label": reference.label,
+        "engine": ref_engine,
         "chain": reference.det_chain,
         "cycles": reference.cycles,
         "ok": True,

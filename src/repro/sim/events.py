@@ -23,7 +23,26 @@ class EventQueue:
         heapq.heappush(self._heap, (cycle, self._seq, fn))
 
     def run_due(self, now: int) -> int:
-        """Fire every event scheduled at or before ``now``; returns count."""
+        """Fire every event scheduled at or before ``now``; returns count.
+
+        Reentrancy contract (the wake-driven engine depends on this —
+        see ``tests/test_events.py``):
+
+        * A callback that schedules another event at ``cycle <= now``
+          fires **within the same** ``run_due`` call, after everything
+          already pending at an earlier ``(cycle, seq)``.  The call
+          returns only when no event at or before ``now`` remains, so a
+          caller never needs to re-poll for same-cycle follow-ups.
+        * Events at the same cycle fire in scheduling order (``_seq``
+          breaks heap ties), including events scheduled mid-drain: a
+          same-cycle event scheduled by a callback runs after every
+          same-cycle event that was scheduled before it.
+        * A callback scheduling at ``cycle < now`` (an "earlier" cycle)
+          also fires in this call — the heap orders it before any
+          later-cycle entries, but it cannot run before events that
+          already fired.  Schedulers should treat this as "due
+          immediately", not time travel.
+        """
         fired = 0
         heap = self._heap
         while heap and heap[0][0] <= now:

@@ -2,9 +2,11 @@
 
 Environment knobs (also settable via ``python -m repro`` flags):
 
+* ``REPRO_ENGINE``        — loop implementation: ``naive`` (cycle by
+  cycle), ``fast`` (skip windows), or ``event`` (wake heap; default);
 * ``REPRO_NO_SKIP=1``     — force the cycle-by-cycle loop (no fast-forward);
-* ``REPRO_VERIFY_SKIP=1`` — run every simulation twice (skip on and off)
-  and assert the results are bit-identical.
+* ``REPRO_VERIFY_SKIP=1`` — run every simulation twice (the selected
+  engine plus a reference engine) and assert bit-identical results.
 """
 
 from __future__ import annotations
@@ -32,19 +34,30 @@ def _env_flag(name: str) -> bool:
     return os.environ.get(name, "") not in ("", "0")
 
 
+def _resolve_engine() -> str:
+    """The loop implementation the env knobs select for this run."""
+    if _env_flag("REPRO_NO_SKIP"):
+        return "naive"
+    from repro.sim.system import System
+
+    return System.resolve_engine(None)
+
+
 def _run_system(make_system, max_cycles: int) -> SimResult:
     """Run a system built by ``make_system()``, honouring the env knobs.
 
     Wall-clock time is recorded on the result; with ``REPRO_VERIFY_SKIP``
-    a second system is built and run with the opposite ``skip_cycles``
-    setting and the two results are cross-checked for bit-identity.
+    a second system is built and run on a reference engine (``naive``
+    unless that is the engine under test, then ``fast``) and the two
+    results are cross-checked for bit-identity.
     """
-    skip = not _env_flag("REPRO_NO_SKIP")
+    engine = _resolve_engine()
     # Wall-clock observability only: never feeds back into simulated state.
     start = time.perf_counter()  # repro-lint: disable=DET002 wall_seconds metric
-    result = make_system().run(max_cycles=max_cycles, skip_cycles=skip)
+    result = make_system().run(max_cycles=max_cycles, engine=engine)
     result.wall_seconds = time.perf_counter() - start  # repro-lint: disable=DET002 wall_seconds metric
     if _env_flag("REPRO_VERIFY_SKIP"):
+        reference = "naive" if engine != "naive" else "fast"
         # The cross-check run must not clobber the primary run's streamed
         # telemetry (its stream would be bit-identical anyway — that is
         # the point of the check — but rewriting it would confuse a live
@@ -52,7 +65,7 @@ def _run_system(make_system, max_cycles: int) -> SimResult:
         saved_stream = os.environ.pop("REPRO_STREAM_DIR", None)
         try:
             other = make_system().run(
-                max_cycles=max_cycles, skip_cycles=not skip
+                max_cycles=max_cycles, engine=reference
             )
         finally:
             if saved_stream is not None:
@@ -69,7 +82,7 @@ def _run_system(make_system, max_cycles: int) -> SimResult:
                 else " (determinism chains agree; divergence is in statistics)"
             )
             raise AssertionError(
-                f"skip-cycles fast-forward diverged from the cycle-by-cycle "
+                f"the {engine!r} loop diverged from the {reference!r} "
                 f"loop for {result.label!r}{location}"
             )
     return result

@@ -1,6 +1,25 @@
-"""System: cores + hierarchy + memory, and the global cycle loop."""
+"""System: cores + hierarchy + memory, and the global cycle loop.
+
+Three loop implementations produce bit-identical results (same
+determinism chain, result fingerprint, and streamed telemetry bytes):
+
+* ``naive`` — the reference: step every component every cycle;
+* ``fast``  — scan every core each cycle but fast-forward over windows
+  where every core is quiescent and no event/DRAM edge has work;
+* ``event`` — the default: a wake-driven core that visits only cycles
+  where something can happen, tracking skipping cores in a wake heap
+  and idle DRAM channels by registered wakes (see :meth:`_run_event`
+  and DESIGN.md §5.4 for the identity argument).
+
+Select with ``System.run(engine=...)``, ``REPRO_ENGINE``, or the
+``--engine`` CLI flag; ``REPRO_NO_SKIP=1`` forces ``naive``.
+"""
 
 from __future__ import annotations
+
+import copy
+import heapq
+import os
 
 from repro.analysis import detchain
 from repro.config import SystemConfig
@@ -45,7 +64,10 @@ def make_provider_factory(spec):
         cls = classes[kind]
     except KeyError:
         raise ValueError(f"unknown provider kind {kind!r}") from None
-    return lambda core_id: cls(**kwargs)
+    # Deep-copy the kwargs per instantiation: the factory is called once
+    # per core, and a provider that mutates a mutable kwarg (a list of
+    # thresholds, a config dict) must not alias state across cores.
+    return lambda core_id: cls(**copy.deepcopy(kwargs))
 
 
 class System:
@@ -111,33 +133,56 @@ class System:
             self.hierarchy.trace = recorder
         self.telemetry.begin_stream(self.label)
 
+    @staticmethod
+    def resolve_engine(engine: str | None, skip_cycles: bool = True) -> str:
+        """Pick the loop implementation: explicit argument, then the
+        ``REPRO_ENGINE`` environment knob, then the default (``event``).
+        ``skip_cycles=False`` is the legacy spelling of ``naive``."""
+        if engine is None:
+            if not skip_cycles:
+                return "naive"
+            engine = os.environ.get("REPRO_ENGINE", "").strip() or "event"
+        if engine not in ("naive", "fast", "event"):
+            raise ValueError(
+                f"unknown engine {engine!r}: expected naive, fast, or event"
+            )
+        return engine
+
     def run(
-        self, max_cycles: int | None = None, skip_cycles: bool = True
+        self,
+        max_cycles: int | None = None,
+        skip_cycles: bool = True,
+        engine: str | None = None,
     ) -> SimResult:
         """Run every core's trace to completion; returns the results.
 
-        With ``skip_cycles`` (the default) the loop fast-forwards over dead
-        cycles — stretches where every core is quiescent, no event is due,
-        and no DRAM clock edge has work — applying the exact per-cycle stat
-        increments the naive loop would have made, so results are
-        bit-identical either way.  ``skip_cycles=False`` forces the plain
-        cycle-by-cycle loop (the reference for the cross-check mode).
+        ``engine`` selects the loop implementation (see the module
+        docstring); all three are bit-identical, so the choice only
+        affects wall clock.  ``skip_cycles=False`` forces the plain
+        cycle-by-cycle loop (the reference for the cross-check mode) and
+        is equivalent to ``engine="naive"``.
 
         When a streaming writer is attached (``REPRO_STREAM_DIR``) the
         stream is finalized on success and aborted — torn tail removed,
         manifest marked ``failed`` — on any failure, so a crashed run
         never leaves an ambiguous half-written stream behind.
         """
+        engine = self.resolve_engine(engine, skip_cycles)
         stream = self.telemetry.stream
         if stream is None:
-            return self._run_impl(max_cycles, skip_cycles)
+            return self._dispatch(engine, max_cycles)
         try:
-            result = self._run_impl(max_cycles, skip_cycles)
+            result = self._dispatch(engine, max_cycles)
         except BaseException:
             stream.abort()
             raise
         stream.finalize(result.cycles, result.trace_dropped)
         return result
+
+    def _dispatch(self, engine: str, max_cycles: int | None) -> SimResult:
+        if engine == "event":
+            return self._run_event(max_cycles)
+        return self._run_impl(max_cycles, skip_cycles=(engine == "fast"))
 
     def _fold_telemetry(self, sampler, stream, limit: int) -> None:
         """Fold sampler and stream-flush points, interleaved on the
@@ -163,6 +208,15 @@ class System:
                 sampler.sample_upto(point + 1)
             if stream.next_flush <= point:
                 stream.flush_upto(point + 1)
+                if stream.next_flush <= point:
+                    # A flush that does not advance the next flush point
+                    # would spin this loop forever; surface the stuck
+                    # cycle instead of hanging the worker.
+                    raise RuntimeError(
+                        f"telemetry stream stalled at cycle {point}: "
+                        f"flush_upto({point + 1}) left next_flush at "
+                        f"{stream.next_flush}"
+                    )
 
     def _run_impl(
         self, max_cycles: int | None = None, skip_cycles: bool = True
@@ -246,12 +300,167 @@ class System:
             if sampler is not None or stream is not None:
                 self._fold_telemetry(sampler, stream, nxt)
             self._now = now = nxt
+        return self._finish_run(now, hit_cap, chain, sampler)
+
+    def _run_event(self, max_cycles: int | None = None) -> SimResult:
+        """Wake-driven loop: visit only cycles where something can happen.
+
+        The per-cycle loops spend most of their time discovering that
+        nothing is due; this loop tracks *who is due when* instead:
+
+        * **Cores** are either active (stepped every visited cycle, in
+          core-id order, forcing the next cycle to be visited) or
+          skipping.  A skipping core holds a lazily-invalidated entry in
+          a wake heap at its ``skip_until`` and carries a wake hook
+          (``_wake_hook``) that fires when an event clears its skip
+          early.  Since every wake originates inside an event callback
+          (store-buffer retries, DRAM-bound promotions, the core's own
+          completion events), hooks only fire during the ``run_due``
+          phase — before the core scan — so a core woken at cycle ``now``
+          is stepped at ``now``, exactly as the per-cycle scan's
+          ``skip_until > now`` test would have done.
+        * **DRAM channels** register wakes (:meth:`MemorySystem.wake_cpu`)
+          instead of being polled: an idle channel's skipped steps are
+          pure zero-occupancy samples, settled lazily by
+          ``account_idle``/``settle_idle``.
+        * **Events** run only when the queue's head is due.
+
+        Det-chain, sampler, and stream fold points live on the virtual
+        cycle axis and never force a visit: due points inside a jumped
+        window fold the same constant state the naive loop would have
+        read cycle by cycle (same argument as ``_run_impl``'s windows).
+        Together these make the loop bit-identical to the naive one —
+        the engine-differential suite and ``REPRO_VERIFY_SKIP`` hold it
+        to that.
+        """
+        cores = self.cores
+        events = self.events
+        memory = self.memory
+        finish = self._finish_cycles
+        remaining = len(cores)
+        now = self._now
+        hit_cap = False
+        forever = _FOREVER
+        every = detchain.interval()
+        chain = detchain.DetChain(every) if every else None
+        next_sample = every
+        sampler = self.telemetry.sampler
+        stream = self.telemetry.stream
+        fold_telemetry = sampler is not None or stream is not None
+
+        wake_heap: list = []  # (skip_until, core_id); stale entries dropped
+        woken: list = []  # skipping cores whose wake hook fired
+
+        def on_wake(core):
+            core._wake_hook = None
+            woken.append(core)
+
+        is_active = [not core.done for core in cores]
+        active = [core for core in cores if not core.done]
+        dirty = False
+
+        while remaining:
+            if max_cycles is not None and now >= max_cycles:
+                hit_cap = True
+                break
+            due = events.next_cycle()
+            if due is not None and due <= now:
+                events.run_due(now)
+                if woken:
+                    for core in woken:
+                        cid = core.core_id
+                        if not is_active[cid] and not core.done:
+                            is_active[cid] = True
+                            dirty = True
+                    del woken[:]
+            memory.step_event(now)
+            while wake_heap:
+                cycle, cid = wake_heap[0]
+                core = cores[cid]
+                if core.done or core.skip_until != cycle:
+                    heapq.heappop(wake_heap)  # stale: woken or re-planned
+                    continue
+                if cycle > now:
+                    break
+                heapq.heappop(wake_heap)
+                core._wake_hook = None
+                if not is_active[cid]:
+                    is_active[cid] = True
+                    dirty = True
+            if dirty:
+                active = [core for core in cores if is_active[core.core_id]]
+                dirty = False
+            for core in active:
+                if core._quiet_deltas is not None:
+                    core.flush_skip(now)
+                core.step(now)
+                if core.done:
+                    finish[core.core_id] = now + 1
+                    remaining -= 1
+                    is_active[core.core_id] = False
+                    dirty = True
+                elif core.plan_defer:
+                    core.plan_defer -= 1
+                else:
+                    plan = core.skip_plan(now)
+                    if plan is None:
+                        core.plan_defer = 3
+                    else:
+                        core.begin_skip(plan, now, forever)
+                        is_active[core.core_id] = False
+                        dirty = True
+                        core._wake_hook = on_wake
+                        if core.skip_until < forever:
+                            heapq.heappush(
+                                wake_heap, (core.skip_until, core.core_id)
+                            )
+            if dirty:
+                active = [core for core in cores if is_active[core.core_id]]
+                dirty = False
+            nxt = now + 1
+            if not active and remaining:
+                # Every live core is skipping: jump to the next cycle at
+                # which anything can happen.
+                target = memory.wake_cpu(now)
+                event_cycle = events.next_cycle()
+                if event_cycle is not None and event_cycle < target:
+                    target = event_cycle
+                while wake_heap:
+                    cycle, cid = wake_heap[0]
+                    core = cores[cid]
+                    if core.done or core.skip_until != cycle:
+                        heapq.heappop(wake_heap)
+                        continue
+                    if cycle < target:
+                        target = cycle
+                    break
+                if max_cycles is not None and target > max_cycles:
+                    target = max_cycles
+                if target > nxt:
+                    nxt = target
+            if chain is not None and next_sample < nxt:
+                state = detchain.snapshot(self)
+                while next_sample < nxt:
+                    chain.sample(next_sample, state)
+                    next_sample += every
+            if fold_telemetry:
+                self._fold_telemetry(sampler, stream, nxt)
+            self._now = now = nxt
+        for core in cores:
+            core._wake_hook = None
+        memory.settle_idle(now)
+        return self._finish_run(now, hit_cap, chain, sampler)
+
+    def _finish_run(self, now, hit_cap, chain, sampler) -> SimResult:
+        """Shared end-of-run settlement and result assembly."""
+        cores = self.cores
+        finish = self._finish_cycles
         for core in cores:
             if not core.done:
                 core.flush_skip(now)
                 if finish[core.core_id] == 0:
                     finish[core.core_id] = now
-        memory.finish_sanitize(now)
+        self.memory.finish_sanitize(now)
 
         if chain is not None:
             chain.finalize(now, detchain.snapshot(self))
@@ -263,7 +472,7 @@ class System:
             committed=[c.stats.committed for c in cores],
             core_stats=[c.stats for c in cores],
             hierarchy=self.hierarchy.stats,
-            channels=[ch.stats for ch in memory.channels],
+            channels=[ch.stats for ch in self.memory.channels],
             providers=self.providers,
             hit_max_cycles=hit_cap,
             det_chain=chain.digest if chain is not None else None,

@@ -101,6 +101,66 @@ class TestState:
         assert c.resident_lines() == 2
 
 
+class TestDetStateIncremental:
+    """The incrementally maintained det_state words must always equal
+    the full tag-array walk (``det_state_scan``) they replaced."""
+
+    def test_fresh_cache(self):
+        c = small_cache()
+        assert c.det_state() == c.det_state_scan()
+
+    def test_mediated_mutators_keep_words_consistent(self):
+        c = small_cache()
+        c.insert(0, state="S")
+        c.insert(64, state="S", dirty=True)
+        line = c.peek(0)
+        c.set_line_state(line, "M")
+        assert c.det_state() == c.det_state_scan()
+        c.set_line_dirty(line)
+        assert c.det_state() == c.det_state_scan()
+        c.set_line_dirty(c.peek(64), False)
+        assert c.det_state() == c.det_state_scan()
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["lookup", "insert", "insert_dirty", "insert_m",
+                     "invalidate", "state", "dirty", "clean"]
+                ),
+                st.integers(0, 1023),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_random_ops_match_scan(self, ops):
+        c = small_cache(ways=2, sets=2)
+        for op, addr in ops:
+            if op == "lookup":
+                c.lookup(addr)
+            elif op == "insert":
+                c.insert(addr)
+            elif op == "insert_dirty":
+                c.insert(addr, dirty=True)
+            elif op == "insert_m":
+                c.insert(addr, state="M", dirty=True)
+            elif op == "invalidate":
+                c.invalidate(addr)
+            else:
+                line = c.peek(addr)
+                if line is None:
+                    continue
+                if op == "state":
+                    c.set_line_state(line, "E")
+                elif op == "dirty":
+                    c.set_line_dirty(line)
+                else:
+                    c.set_line_dirty(line, False)
+            assert c.det_state() == c.det_state_scan()
+
+
 @settings(max_examples=50)
 @given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
 def test_capacity_and_contents_match_reference(addresses):

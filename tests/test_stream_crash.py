@@ -206,16 +206,26 @@ class TestTornTailDeterministic:
         traces = parallel_traces("fft", config.cores, 400, seed=11)
         system = System(config, traces)
 
-        original = system.memory.step
         calls = {"n": 0}
 
-        def exploding_step(now):
-            calls["n"] += 1
-            if calls["n"] > 200:
-                raise RuntimeError("injected mid-run failure")
-            return original(now)
+        def exploding(original):
+            def step(now):
+                calls["n"] += 1
+                if calls["n"] > 200:
+                    raise RuntimeError("injected mid-run failure")
+                return original(now)
 
-        monkeypatch.setattr(system.memory, "step", exploding_step)
+            return step
+
+        # Cover every engine's DRAM clocking path (naive/fast use step,
+        # the event engine uses step_event).
+        monkeypatch.setattr(
+            system.memory, "step", exploding(system.memory.step)
+        )
+        monkeypatch.setattr(
+            system.memory, "step_event",
+            exploding(system.memory.step_event),
+        )
         with pytest.raises(RuntimeError, match="injected"):
             system.run()
         manifest = stream_mod.read_manifest(tmp_path)
