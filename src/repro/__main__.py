@@ -149,6 +149,12 @@ def _cmd_analyze(args) -> int:
         argv += ["--select", args.select]
     if args.show_suppressed:
         argv.append("--show-suppressed")
+    if args.batchability:
+        argv += ["--batchability", args.batchability]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return analyze_main(argv)
 
 
@@ -365,7 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p = sub.add_parser(
         "analyze",
         help="run the whole-program semantic analyzer (cycle domains, "
-             "det-state coverage, scheduler contracts)",
+             "det-state coverage, scheduler contracts, effect/purity "
+             "certificates)",
     )
     analyze_p.add_argument("paths", nargs="*",
                            help="files or directories (default: src/repro)")
@@ -373,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated rule ids to run")
     analyze_p.add_argument("--list-rules", action="store_true")
     analyze_p.add_argument("--show-suppressed", action="store_true")
+    analyze_p.add_argument("--batchability", default=None, metavar="PATH",
+                           help="also write batchability.json to PATH")
+    analyze_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="incremental analysis cache directory")
+    analyze_p.add_argument("--no-cache", action="store_true")
 
     stats_p = sub.add_parser(
         "stats", help="run one workload and print telemetry summaries"

@@ -1,0 +1,239 @@
+"""Per-package sharding and an on-disk incremental cache for the
+semantic analyzer.
+
+The whole-program analyzer re-reads and re-analyzes every module on
+every invocation.  For editor/pre-commit loops that is wasted work:
+most runs touch one package.  This module shards the target tree by
+directory (one shard per package directory), keys each shard by the
+content hashes of its own files, the analyzer's own sources, the
+``--select`` set, and the hashes of every shard it transitively
+imports, and caches each shard's findings on disk.  A warm run whose
+keys all match reconstructs the report without parsing a single file;
+a run with edits re-analyzes only the shards whose key changed.
+
+Soundness cut (deliberate): a cache miss re-analyzes the shard
+together with its transitive *imports*, not its importers, so a
+finding in package P that only materializes because some *other*
+package imports P can differ from the whole-program answer (e.g.
+name-level coverage reads that live in an unrelated package).  The
+cache is therefore an opt-in accelerator for local loops — it is used
+only when ``--cache-dir`` / ``REPRO_ANALYZE_CACHE_DIR`` is given —
+while CI and the default CLI run the whole-program analysis, which
+stays authoritative.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint import Finding, iter_python_files
+from repro.analysis.semantic.driver import AnalysisReport, analyze_graph
+from repro.analysis.semantic.modgraph import ModuleGraph
+
+#: Bump to invalidate every cache entry on disk (format changes).
+_FORMAT = 2
+
+ENV_CACHE_DIR = "REPRO_ANALYZE_CACHE_DIR"
+
+
+@dataclass
+class CachedAnalysis:
+    """An :class:`AnalysisReport` plus the cache decisions behind it."""
+
+    report: AnalysisReport
+    hits: list[str] = field(default_factory=list)
+    misses: list[str] = field(default_factory=list)
+
+
+def default_cache_dir() -> Path | None:
+    """The env-configured cache directory, or None (cache disabled)."""
+    raw = os.environ.get(ENV_CACHE_DIR, "")
+    return Path(raw) if raw else None
+
+
+def _sha(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _analyzer_digest() -> str:
+    """Hash of the analyzer's own sources: editing a rule is an edit of
+    every shard."""
+    here = Path(__file__).resolve().parent
+    sources = sorted(here.glob("*.py")) + sorted(here.glob("semantic/*.py"))
+    return _sha(str(_FORMAT), *(p.read_text() for p in sources))
+
+
+def _shard_of(path: Path) -> str:
+    return str(path.resolve().parent)
+
+
+def _own_digests(shards: dict[str, list[Path]]) -> dict[str, str]:
+    out = {}
+    for shard, files in shards.items():
+        parts = []
+        for f in sorted(files):
+            try:
+                body = f.read_text()
+            except OSError:
+                body = "<unreadable>"
+            parts.append(f.name)
+            parts.append(hashlib.sha256(body.encode()).hexdigest())
+        out[shard] = _sha(*parts)
+    return out
+
+
+def _key(
+    analyzer: str,
+    select_key: str,
+    shard: str,
+    own: dict[str, str],
+    deps: list[str],
+) -> str:
+    parts = [analyzer, select_key, own.get(shard, "absent")]
+    for dep in sorted(deps):
+        parts.append(dep)
+        parts.append(own.get(dep, "absent"))
+    return _sha(*parts)
+
+
+def _entry_path(cache_dir: Path, shard: str) -> Path:
+    return cache_dir / f"{_sha(shard)[:24]}.json"
+
+
+def _shard_deps(graph: ModuleGraph) -> dict[str, set[str]]:
+    """Direct shard -> shard import edges, from resolved module imports."""
+    by_name = graph.modules
+    shard_for_mod = {
+        name: _shard_of(Path(mod.path)) for name, mod in by_name.items()
+    }
+    edges: dict[str, set[str]] = {}
+    for name, mod in by_name.items():
+        src_shard = shard_for_mod[name]
+        bucket = edges.setdefault(src_shard, set())
+        for target in mod.imports.values():
+            parts = target.split(".")
+            for i in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:i])
+                if candidate in by_name:
+                    dep = shard_for_mod[candidate]
+                    if dep != src_shard:
+                        bucket.add(dep)
+                    break
+    return edges
+
+
+def _transitive(edges: dict[str, set[str]], start: str) -> set[str]:
+    seen: set[str] = set()
+    todo = list(edges.get(start, ()))
+    while todo:
+        shard = todo.pop()
+        if shard in seen or shard == start:
+            continue
+        seen.add(shard)
+        todo.extend(edges.get(shard, ()))
+    return seen
+
+
+def _subgraph(graph: ModuleGraph, shards: set[str]) -> ModuleGraph:
+    sub = ModuleGraph()
+    for mod in graph.modules.values():
+        if _shard_of(Path(mod.path)) in shards:
+            sub._add_module(Path(mod.path), mod.source, mod.tree)
+    return sub
+
+
+def _serialize(findings: list[Finding]) -> list[dict]:
+    return [asdict(f) for f in findings]
+
+
+def _deserialize(rows: list[dict]) -> list[Finding]:
+    return [Finding(**row) for row in rows]
+
+
+def analyze_paths_cached(
+    paths,
+    select: set[str] | None = None,
+    cache_dir: str | Path | None = None,
+) -> CachedAnalysis:
+    """Shard-wise cached analysis of every ``*.py`` under ``paths``.
+
+    Functionally equivalent to
+    :func:`repro.analysis.semantic.analyze_paths` up to the soundness
+    cut documented in the module docstring.
+    """
+    cache = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    if cache is None:
+        raise ValueError("analyze_paths_cached requires a cache directory")
+    cache.mkdir(parents=True, exist_ok=True)
+
+    files = iter_python_files(paths)
+    shards: dict[str, list[Path]] = {}
+    for f in files:
+        shards.setdefault(_shard_of(f), []).append(f)
+    own = _own_digests(shards)
+    analyzer = _analyzer_digest()
+    select_key = ",".join(sorted(select)) if select else "*"
+
+    entries: dict[str, dict] = {}
+    for shard in shards:
+        path = _entry_path(cache, shard)
+        try:
+            entries[shard] = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+
+    hits, misses = [], []
+    for shard in sorted(shards):
+        entry = entries.get(shard)
+        if entry is not None and entry["key"] == _key(
+            analyzer, select_key, shard, own, entry["deps"]
+        ):
+            hits.append(shard)
+        else:
+            misses.append(shard)
+
+    shard_of_path = {str(f): _shard_of(f) for f in files}
+    shard_of_path.update({str(f.resolve()): _shard_of(f) for f in files})
+    fresh: dict[str, dict] = {}
+    parse_errors: list[str] = []
+    if misses:
+        graph = ModuleGraph.load(files)
+        parse_errors = list(graph.errors)
+        edges = _shard_deps(graph)
+        for shard in misses:
+            deps = _transitive(edges, shard)
+            sub = _subgraph(graph, deps | {shard})
+            rep = analyze_graph(sub, select=select)
+            mine = [f for f in rep.findings
+                    if shard_of_path.get(f.path) == shard]
+            sup = [f for f in rep.suppressed
+                   if shard_of_path.get(f.path) == shard]
+            entry = {
+                "id": shard,
+                "key": _key(analyzer, select_key, shard, own, sorted(deps)),
+                "deps": sorted(deps),
+                "findings": _serialize(mine),
+                "suppressed": _serialize(sup),
+            }
+            _entry_path(cache, shard).write_text(
+                json.dumps(entry, indent=1, sort_keys=True) + "\n"
+            )
+            fresh[shard] = entry
+
+    report = AnalysisReport(files=len(files) - len(parse_errors))
+    report.errors.extend(parse_errors)
+    for shard in sorted(shards):
+        entry = fresh.get(shard) or entries.get(shard) or {}
+        report.findings.extend(_deserialize(entry.get("findings", [])))
+        report.suppressed.extend(_deserialize(entry.get("suppressed", [])))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CachedAnalysis(report=report, hits=hits, misses=misses)

@@ -27,6 +27,11 @@ SCH001     a ``*Scheduler`` class that does not inherit from the
 EXC001     bare ``except:`` — swallows ``KeyboardInterrupt`` and hides bugs
 EXC002     silent exception handler (body is only ``pass``/``...``) —
            drops errors without a trace
+PERF001    list/deque allocated inside a loop of a per-cycle hot method —
+           the allocation cost is paid millions of times per run
+PERF002    the same ``name.attr`` chain loaded repeatedly in one hot
+           loop — bind it to a local before the loop
+PERF003    dict/set constructed inside a loop of a per-cycle hot method
 =========  ================================================================
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
@@ -686,6 +691,229 @@ class SilentHandlerRule(Rule):
         return findings
 
 
+#: Methods on the per-cycle hot path.  Mirrors
+#: ``repro.analysis.semantic.effects.PER_CYCLE_HOOKS`` (a test pins the
+#: two sets together; lint must not import the semantic layer) plus the
+#: hot helpers reached from them every issue.
+HOT_METHODS = {
+    "step", "step_event", "select", "load", "store", "lookup", "tick",
+    "on_command", "on_enqueue", "account_idle", "_do_dispatch",
+    "_do_commit", "_do_load_issues", "_execute", "_build_candidates",
+    "_service_refresh",
+    # hot helpers on the issue path, not per-cycle hooks themselves
+    "_resolve_deps", "try_enqueue", "fast_forward",
+}
+
+
+class HotLoopRule(Rule):
+    """Shared machinery for the PERF rules: loops in hot methods.
+
+    A "hot loop" is any ``for``/``while`` inside a method whose name is
+    in :data:`HOT_METHODS` — these run every simulated cycle, so an
+    allocation or repeated attribute walk inside them is paid millions
+    of times per run.  The per-iteration region of a ``for`` loop is its
+    body (the iterable expression runs once); a ``while`` loop's test
+    re-evaluates every iteration and is included.
+    """
+
+    def _hot_functions(self, tree):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and node.name in HOT_METHODS:
+                yield node
+
+    @staticmethod
+    def _loops(fn):
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.For, ast.While)):
+                yield node
+
+    @staticmethod
+    def _region(loop):
+        region = list(loop.body) + list(loop.orelse)
+        if isinstance(loop, ast.While):
+            region.append(loop.test)
+        return region
+
+    @classmethod
+    def _walk_region(cls, loop):
+        for part in cls._region(loop):
+            yield from ast.walk(part)
+
+
+class LoopAllocationRule(HotLoopRule):
+    """PERF001: list/deque allocation inside a hot loop.
+
+    Every iteration pays the allocator; at simulator scale that is
+    millions of short-lived objects per run.  Hoist the container out of
+    the loop, reuse a preallocated buffer, or append to an accumulator
+    created once.  An allocation that genuinely must happen per
+    iteration (e.g. handing off an owned list) carries a suppression
+    with its amortisation rationale.
+    """
+
+    id = "PERF001"
+    title = "list allocated inside a per-cycle hot loop"
+
+    _LITERALS = (ast.List, ast.ListComp)
+    _CALLS = {"list", "deque"}
+
+    @classmethod
+    def _allocation(cls, node) -> str | None:
+        if isinstance(node, ast.List) and isinstance(node.ctx, ast.Load):
+            return "a list literal"
+        if isinstance(node, ast.ListComp):
+            return "a list comprehension"
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if len(chain) == 1 and chain[0] in cls._CALLS:
+                return f"{chain[0]}(...)"
+        return None
+
+    def check_module(self, tree, path):
+        findings = []
+        seen = set()
+        for fn in self._hot_functions(tree):
+            for loop in self._loops(fn):
+                for node in self._walk_region(loop):
+                    what = self._allocation(node)
+                    if what is None:
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(self._finding(
+                        path, node,
+                        f"{what} is allocated every iteration of a loop in "
+                        f"hot method {fn.name}(); hoist it out of the loop "
+                        f"or reuse a buffer",
+                    ))
+        return findings
+
+
+class LoopAttrReloadRule(HotLoopRule):
+    """PERF002: the same attribute chain dereferenced repeatedly in one
+    hot loop.
+
+    Each ``obj.attr`` load is a dict probe; re-walking the same chain
+    on every iteration (or several times per iteration) is pure
+    overhead.  Bind the value to a local before the loop (``timing =
+    self.timing``) — the idiom already used by the scheduler inner
+    loops.  Chains that are re-assigned in the loop, rooted in the loop
+    variable, or only ever called as methods are exempt.
+    """
+
+    id = "PERF002"
+    title = "repeated attribute-chain load in a per-cycle hot loop"
+
+    def check_module(self, tree, path):
+        findings = []
+        seen = set()
+        for fn in self._hot_functions(tree):
+            for loop in self._loops(fn):
+                self._check_loop(fn, loop, path, findings, seen)
+        return findings
+
+    def _check_loop(self, fn, loop, path, findings, seen):
+        counts: dict[tuple[str, str], list] = {}
+        stored_roots: set[str] = set()
+        stored_pairs: set[tuple[str, str]] = set()
+        func_ids: set[int] = set()
+        if isinstance(loop, ast.For):
+            for t in ast.walk(loop.target):
+                if isinstance(t, ast.Name):
+                    stored_roots.add(t.id)
+        for node in self._walk_region(loop):
+            if isinstance(node, ast.Call):
+                func_ids.add(id(node.func))
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                stored_roots.add(node.id)
+        for node in self._walk_region(loop):
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = _attr_chain(node)
+            if len(chain) != 2:
+                continue
+            pair = (chain[0], chain[1])
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                stored_pairs.add(pair)
+                continue
+            if id(node) in func_ids:
+                continue  # bare method call; nothing to hoist
+            bucket = counts.setdefault(pair, [0, node])
+            bucket[0] += 1
+        for (root, attr), (n, first) in sorted(
+            counts.items(), key=lambda kv: (kv[1][1].lineno, kv[1][1].col_offset)
+        ):
+            if n < 2:
+                continue
+            if root in stored_roots or (root, attr) in stored_pairs:
+                continue
+            key = (first.lineno, first.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(self._finding(
+                path, first,
+                f"{root}.{attr} is dereferenced {n} times per iteration "
+                f"of a loop in hot method {fn.name}(); bind it to a local "
+                f"before the loop",
+            ))
+
+
+class LoopContainerBuildRule(HotLoopRule):
+    """PERF003: dict/set construction inside a hot loop.
+
+    Dicts and sets are the most expensive containers to build (hashing
+    plus table setup); constructing one per iteration on the per-cycle
+    path dominates profiles.  Build it once outside the loop and
+    ``clear()``/update it, or restructure to avoid the container.
+    """
+
+    id = "PERF003"
+    title = "dict/set constructed inside a per-cycle hot loop"
+
+    _LITERALS = (ast.Dict, ast.Set, ast.DictComp, ast.SetComp)
+    _CALLS = {"dict", "set", "frozenset"}
+
+    @classmethod
+    def _construction(cls, node) -> str | None:
+        if isinstance(node, ast.Dict):
+            return "a dict literal"
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, (ast.DictComp, ast.SetComp)):
+            return "a dict/set comprehension"
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if len(chain) == 1 and chain[0] in cls._CALLS:
+                return f"{chain[0]}(...)"
+        return None
+
+    def check_module(self, tree, path):
+        findings = []
+        seen = set()
+        for fn in self._hot_functions(tree):
+            for loop in self._loops(fn):
+                for node in self._walk_region(loop):
+                    what = self._construction(node)
+                    if what is None:
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(self._finding(
+                        path, node,
+                        f"{what} is built every iteration of a loop in hot "
+                        f"method {fn.name}(); build it once outside the "
+                        f"loop",
+                    ))
+        return findings
+
+
 class SuppressionHygieneRule(Rule):
     """SUP001: suppression comment naming an unknown rule id.
 
@@ -714,6 +942,9 @@ ALL_RULES: tuple[Rule, ...] = (
     SchedulerInterfaceRule(),
     BareExceptRule(),
     SilentHandlerRule(),
+    LoopAllocationRule(),
+    LoopAttrReloadRule(),
+    LoopContainerBuildRule(),
     SuppressionHygieneRule(),
 )
 

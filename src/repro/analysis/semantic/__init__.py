@@ -10,8 +10,17 @@ the passes here understand the *simulator's* semantics across modules:
   (SEM010): every mutable field on a simulator class must be folded
   into the determinism hash-chain or explicitly allowlisted.
 * :mod:`repro.analysis.semantic.contract` — scheduler contract
-  verification (SEM020–SEM022): starvation caps on every issue path,
-  no direct bank/bus mutation, required overrides present.
+  verification (SEM020–SEM022): an age/starvation *ordering* on every
+  issue path, no direct bank/bus mutation, required overrides present.
+* :mod:`repro.analysis.semantic.effects` — interprocedural
+  effect/purity inference (SEM030–SEM032): certified-pure hooks must
+  stay pure, RNG/IO must not reach per-cycle model code, and
+  ``# repro-batch:`` markers must cite certificates the current
+  analysis still grants.  :mod:`repro.analysis.semantic.batchability`
+  turns the same inference into ``batchability.json`` — a
+  window-invariant / monotone-accumulating / per-cycle-only
+  classification of every hot-path hook and scheduler, the proof
+  surface for the model-batching work.
 
 Shared infrastructure — the module graph loader
 (:mod:`~repro.analysis.semantic.modgraph`), per-function CFG builder
@@ -19,7 +28,8 @@ Shared infrastructure — the module graph loader
 (:mod:`~repro.analysis.semantic.dataflow`) — is reusable by future
 passes.
 
-CLI: ``python -m repro analyze [paths...]``.
+CLI: ``python -m repro analyze [paths...] [--batchability OUT]
+[--cache-dir DIR | --no-cache]``.
 """
 
 from repro.analysis.semantic.driver import (  # noqa: F401

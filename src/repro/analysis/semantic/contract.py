@@ -12,9 +12,14 @@ SEM020
     ``arrival``).  A ``select`` path that can return a candidate
     without consulting *any* age or starvation signal can starve
     requests indefinitely.  Checked on the CFG: every path from entry
-    to a ``return <candidate>`` must pass a statement that mentions an
-    age token (``seq``, ``arrival``, ``starvation_cap``…) or calls a
-    helper (resolved through the MRO) that does.  A loop whose body
+    to a ``return <candidate>`` must pass a statement that *compares*
+    an age signal — an ordering comparison (``<``/``<=``/``>``/``>=``)
+    with an age token (``seq``, ``arrival``, ``starvation_cap``…) or a
+    local derived from one on either side, or ``min``/``max``/
+    ``sorted``/``.sort`` consuming one — or calls a helper (resolved
+    through the MRO) that does.  Merely *mentioning* an age token
+    (logging it, summing it, copying it into a stat) does not count:
+    only an ordering decision bounds queueing delay.  A loop whose body
     consults a guard counts as guarded — the zero-iteration path
     returns the loop's empty-handed default, not an issued command.
 
@@ -95,12 +100,86 @@ def _raises_not_implemented(func: FunctionInfo) -> bool:
     return False
 
 
-def _mentions_guard(node: ast.AST) -> bool:
+#: Comparison operators that order two values (equality tells you
+#: nothing about queueing delay).
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+#: Builtins whose result orders their input.
+_ORDER_FUNCS = {"min", "max", "sorted"}
+
+
+def _mentions_token(node: ast.AST, tainted: frozenset[str]) -> bool:
+    """Does the expression mention an age token or an age-derived local?"""
     for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and sub.id in GUARD_TOKENS:
+        if isinstance(sub, ast.Name) and (
+            sub.id in GUARD_TOKENS or sub.id in tainted
+        ):
             return True
         if isinstance(sub, ast.Attribute) and sub.attr in GUARD_TOKENS:
             return True
+    return False
+
+
+def _tainted_locals(func_node, derives=None) -> frozenset[str]:
+    """Local names assigned (anywhere) from an expression that mentions
+    an age token, to a fixpoint: ``age = now - txn.arrival`` taints
+    ``age``, ``limit = age + slack`` then taints ``limit``.  The
+    optional ``derives(value)`` predicate taints additional sources —
+    e.g. a sort key returned by an age-bearing ``self._key`` helper."""
+    tainted: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AugAssign):
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not (
+                _mentions_token(value, frozenset(tainted))
+                or (derives is not None and derives(value))
+            ):
+                continue
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name) and sub.id not in tainted:
+                        tainted.add(sub.id)
+                        changed = True
+    return frozenset(tainted)
+
+
+def _consults_guard(node: ast.AST, tainted: frozenset[str]) -> bool:
+    """True iff the node *orders by* an age signal: an ordering
+    comparison with an age token (or age-derived local) on either side,
+    or ``min``/``max``/``sorted``/``.sort`` whose operands or ``key``
+    mention one.  A bare mention (logging, summing) does not count."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Compare):
+            sides = [sub.left, *sub.comparators]
+            for i, op in enumerate(sub.ops):
+                if isinstance(op, _ORDERING_OPS) and (
+                    _mentions_token(sides[i], tainted)
+                    or _mentions_token(sides[i + 1], tainted)
+                ):
+                    return True
+        elif isinstance(sub, ast.Call):
+            fn = sub.func
+            if isinstance(fn, ast.Name) and fn.id in _ORDER_FUNCS:
+                if any(_mentions_token(a, tainted) for a in sub.args):
+                    return True
+                if any(
+                    kw.arg == "key" and _mentions_token(kw.value, tainted)
+                    for kw in sub.keywords
+                ):
+                    return True
+            elif isinstance(fn, ast.Attribute) and fn.attr == "sort":
+                if any(
+                    kw.arg == "key" and _mentions_token(kw.value, tainted)
+                    for kw in sub.keywords
+                ):
+                    return True
     return False
 
 
@@ -175,12 +254,50 @@ class SchedulerContractPass:
         if func.qualname in seen or depth <= 0:
             return False
         seen.add(func.qualname)
-        if _mentions_guard(func.node):
+        if _consults_guard(func.node, _tainted_locals(func.node)):
             return True
         for node in ast.walk(func.node):
             helper = self._self_call_target(graph, cls, node)
             if helper is not None and self._fn_consults_guard(
                 graph, cls, helper, seen, depth - 1
+            ):
+                return True
+        return False
+
+    def _helper_mentions_age(
+        self,
+        graph: ModuleGraph,
+        cls: ClassInfo,
+        func: FunctionInfo,
+        seen: set[str],
+        depth: int = 3,
+    ) -> bool:
+        """Does the helper's result carry an age signal?  A plain
+        *mention* suffices here — ordering a value derived from age
+        (``key < best_key`` where ``key = self._key(cand)`` and
+        ``_key`` returns ``(..., txn.seq)``) is an age ordering."""
+        if func.qualname in seen or depth <= 0:
+            return False
+        seen.add(func.qualname)
+        if _mentions_token(func.node, frozenset()):
+            return True
+        for node in ast.walk(func.node):
+            helper = self._self_call_target(graph, cls, node)
+            if helper is not None and self._helper_mentions_age(
+                graph, cls, helper, seen, depth - 1
+            ):
+                return True
+        return False
+
+    def _derives_age(
+        self, graph: ModuleGraph, cls: ClassInfo, value: ast.AST
+    ) -> bool:
+        """Does the assigned expression call a self-helper whose body
+        touches an age token?"""
+        for sub in ast.walk(value):
+            helper = self._self_call_target(graph, cls, sub)
+            if helper is not None and self._helper_mentions_age(
+                graph, cls, helper, set()
             ):
                 return True
         return False
@@ -199,7 +316,11 @@ class SchedulerContractPass:
         return None
 
     def _node_is_guard(
-        self, graph: ModuleGraph, cls: ClassInfo, node: cfglib.Node
+        self,
+        graph: ModuleGraph,
+        cls: ClassInfo,
+        node: cfglib.Node,
+        tainted: frozenset[str],
     ) -> bool:
         stmt = node.stmt
         if stmt is None:
@@ -212,7 +333,7 @@ class SchedulerContractPass:
             probe = stmt.test
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             return False
-        if _mentions_guard(probe):
+        if _consults_guard(probe, tainted):
             return True
         for sub in ast.walk(probe):
             helper = self._self_call_target(graph, cls, sub)
@@ -229,8 +350,14 @@ class SchedulerContractPass:
         if select is None or _raises_not_implemented(select):
             return []  # SEM022 already reported the missing override
         cfg = cfglib.build_cfg(select.node)
+        tainted = _tainted_locals(
+            select.node,
+            derives=lambda value: self._derives_age(graph, cls, value),
+        )
         guards = {
-            node for node in cfg.nodes if self._node_is_guard(graph, cls, node)
+            node
+            for node in cfg.nodes
+            if self._node_is_guard(graph, cls, node, tainted)
         }
         unguarded = cfglib.reachable_avoiding(cfg, guards)
         findings: list[Finding] = []
@@ -250,10 +377,11 @@ class SchedulerContractPass:
                         col=ret.stmt.col_offset,
                         message=(
                             f"{cls.name}.select() can issue a command "
-                            f"along a path that never consults an age or "
+                            f"along a path that never orders by an age or "
                             f"starvation signal ({', '.join(sorted(GUARD_TOKENS))}); "
-                            f"the 6000-dram-cycle cap is not honored on "
-                            f"every issue path"
+                            f"mentioning an age token is not enough — an "
+                            f"ordering comparison or min/max/sorted must "
+                            f"bound queueing delay on every issue path"
                         ),
                     )
                 )

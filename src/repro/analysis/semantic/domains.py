@@ -63,16 +63,13 @@ SEM003 = "SEM003"
 # ------------------------------------------------------------------ seeds
 
 #: Attribute names with a known domain wherever they appear.  These are
-#: the analyzer's ground truth, mirroring the units documented on the
-#: config dataclasses and DRAM model.
+#: the analyzer's hand-written ground truth for state the simulator
+#: builds dynamically.  The ``DramTimings`` fields are *not* listed
+#: here: they carry unit-bearing type annotations (``DramCycles`` et
+#: al. in :mod:`repro.config`), which
+#: :func:`seed_attr_domains_from_types` turns into seeds automatically
+#: — rename or add a timing field and the analyzer follows.
 ATTR_SEEDS: dict[str, str] = {
-    # DramTimings fields (Table 3): DRAM command-clock cycles.
-    "tRCD": DRAM, "tCL": DRAM, "tWL": DRAM, "tCCD": DRAM, "tWTR": DRAM,
-    "tWR": DRAM, "tRTP": DRAM, "tRP": DRAM, "tRRD": DRAM, "tRTRS": DRAM,
-    "tRAS": DRAM, "tRC": DRAM, "tRFC": DRAM, "tFAW": DRAM,
-    "effective_tFAW": DRAM, "_tFAW": DRAM,
-    "burst_cycles": DRAM, "refresh_interval_cycles": DRAM,
-    "refresh_interval_us": NS,
     # Bank readiness deadlines and channel bus bookkeeping.
     "act_ready": DRAM, "cas_ready": DRAM, "pre_ready": DRAM,
     "last_use": DRAM, "next_cas_allowed": DRAM, "data_bus_free": DRAM,
@@ -129,6 +126,89 @@ VAR_CLASS_SEEDS: dict[str, str] = {
 }
 
 
+#: Unit-bearing type-annotation names (defined in :mod:`repro.config`)
+#: mapped to the domain they declare.  Any attribute, property return,
+#: or ``self.x: T = ...`` assignment annotated with one of these is
+#: seeded with the corresponding domain, by *name*, graph-wide.
+CYCLE_TYPE_DOMAINS: dict[str, str] = {
+    "DramCycles": DRAM,
+    "CpuCycles": CPU,
+    "Nanos": NS,
+}
+
+
+def _annotation_domain(node: ast.AST | None) -> str | None:
+    """Domain declared by a type annotation, unwrapping the common
+    spellings: ``DramCycles``, ``"DramCycles"``, ``DramCycles | None``,
+    ``Optional[DramCycles]``, ``config.DramCycles``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return CYCLE_TYPE_DOMAINS.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return CYCLE_TYPE_DOMAINS.get(node.value.strip())
+    if isinstance(node, ast.Attribute):
+        return CYCLE_TYPE_DOMAINS.get(node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_domain(node.left)
+        return left if left is not None else _annotation_domain(node.right)
+    if isinstance(node, ast.Subscript):  # Optional[X], Final[X]
+        return _annotation_domain(node.slice)
+    return None
+
+
+def _is_property(fn: FunctionInfo) -> bool:
+    for deco in fn.node.decorator_list:
+        name = deco.attr if isinstance(deco, ast.Attribute) else getattr(
+            deco, "id", None
+        )
+        if name in ("property", "cached_property"):
+            return True
+    return False
+
+
+def seed_attr_domains_from_types(graph: ModuleGraph) -> dict[str, str]:
+    """Harvest attribute-domain seeds from unit-bearing annotations.
+
+    Three spellings count, all keyed by attribute *name* (matching how
+    :data:`ATTR_SEEDS` is consulted): class-body field annotations
+    (dataclass fields), ``-> DramCycles`` returns on properties, and
+    annotated instance assignments ``self.x: DramCycles = ...``.  A
+    name annotated with two different domains anywhere in the graph is
+    dropped entirely — a conflicting seed is worse than no seed.
+    """
+    seeds: dict[str, str] = {}
+    conflicts: set[str] = set()
+
+    def add(name: str, domain: str | None) -> None:
+        if domain is None or name in conflicts:
+            return
+        if seeds.get(name, domain) != domain:
+            conflicts.add(name)
+            del seeds[name]
+            return
+        seeds[name] = domain
+
+    for cls in graph.all_classes():
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                add(stmt.target.id, _annotation_domain(stmt.annotation))
+        for method in cls.methods.values():
+            if _is_property(method):
+                add(method.name, _annotation_domain(method.node.returns))
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == "self"
+                ):
+                    add(node.target.attr, _annotation_domain(node.annotation))
+    return seeds
+
+
 def merge_domains(a: object, b: object) -> object:
     """Lattice join used at control-flow merges: disagree -> unknown."""
     return a if a == b else None
@@ -171,12 +251,14 @@ class _Scan:
         summaries: dict[str, str | None],
         class_attrs: dict[tuple[str, str], str | None],
         findings: list[Finding] | None,
+        attr_seeds: dict[str, str] | None = None,
     ) -> None:
         self.graph = graph
         self.func = func
         self.summaries = summaries
         self.class_attrs = class_attrs
         self.findings = findings
+        self.attr_seeds = ATTR_SEEDS if attr_seeds is None else attr_seeds
         self._flag = False
         self._returns: list[object] = []
 
@@ -320,8 +402,8 @@ class _Scan:
         is_self = isinstance(node.value, ast.Name) and node.value.id == "self"
         if is_self and f"self.{node.attr}" in env:
             return env[f"self.{node.attr}"]
-        if node.attr in ATTR_SEEDS:
-            return ATTR_SEEDS[node.attr]
+        if node.attr in self.attr_seeds:
+            return self.attr_seeds[node.attr]
         rcls = self.receiver_class(node.value)
         if rcls is not None:
             for cls in self.graph.mro(rcls):
@@ -478,7 +560,7 @@ class _Scan:
                 env[target.id] = domain
             return
         if isinstance(target, ast.Attribute):
-            expected = ATTR_SEEDS.get(target.attr)
+            expected = self.attr_seeds.get(target.attr)
             if _mixed(expected, domain):
                 self._emit(
                     SEM003, node,
@@ -505,7 +587,7 @@ class _Scan:
             self.infer(target.slice, env)
             base = target.value
             if isinstance(base, ast.Attribute):
-                expected = ATTR_SEEDS.get(base.attr)
+                expected = self.attr_seeds.get(base.attr)
                 if _mixed(expected, domain):
                     self._emit(
                         SEM003, node,
@@ -614,13 +696,21 @@ class CycleDomainPass:
     def run(self, graph: ModuleGraph) -> list[Finding]:
         summaries: dict[str, str | None] = {}
         class_attrs: dict[tuple[str, str], str | None] = {}
+        # Hand-written seeds plus whatever the unit-bearing type
+        # annotations declare; annotations win on a name collision.
+        attr_seeds = dict(ATTR_SEEDS)
+        attr_seeds.update(seed_attr_domains_from_types(graph))
         functions = graph.all_functions()
         # Two summary rounds let return domains and inferred attribute
         # domains flow through call chains before anything is flagged.
         for _ in range(2):
             for func in functions:
-                _Scan(graph, func, summaries, class_attrs, None).run(False)
+                _Scan(
+                    graph, func, summaries, class_attrs, None, attr_seeds
+                ).run(False)
         findings: list[Finding] = []
         for func in functions:
-            _Scan(graph, func, summaries, class_attrs, findings).run(True)
+            _Scan(
+                graph, func, summaries, class_attrs, findings, attr_seeds
+            ).run(True)
         return findings

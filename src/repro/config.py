@@ -11,6 +11,16 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+#: Unit-bearing aliases.  At runtime these are plain ``int``/``float``;
+#: their value is that the semantic analyzer
+#: (:mod:`repro.analysis.semantic.domains`) treats any attribute
+#: annotated with one as ground truth for the cycle-domain pass, so a
+#: renamed or newly added timing field keeps its clock without anyone
+#: editing the analyzer's seed tables.
+DramCycles = int
+CpuCycles = int
+Nanos = float
+
 
 @dataclass(frozen=True)
 class DramTimings:
@@ -23,29 +33,29 @@ class DramTimings:
 
     name: str
     data_rate_mtps: int
-    tRCD: int
-    tCL: int
-    tWL: int
-    tCCD: int
-    tWTR: int
-    tWR: int
-    tRTP: int
-    tRP: int
-    tRRD: int
-    tRTRS: int
-    tRAS: int
-    tRC: int
-    tRFC: int
+    tRCD: DramCycles
+    tCL: DramCycles
+    tWL: DramCycles
+    tCCD: DramCycles
+    tWTR: DramCycles
+    tWR: DramCycles
+    tRTP: DramCycles
+    tRP: DramCycles
+    tRRD: DramCycles
+    tRTRS: DramCycles
+    tRAS: DramCycles
+    tRC: DramCycles
+    tRFC: DramCycles
     burst_length: int = 8
     # 8,192 refresh commands every 64 ms (paper Table 3) => one REF per
     # 64 ms / 8192 = 7.8125 us.  Expressed in DRAM cycles at build time.
-    refresh_interval_us: float = 7.8125
+    refresh_interval_us: Nanos = 7.8125
     #: Four-activate window: at most four ACTIVATEs to a rank within any
     #: rolling ``tFAW`` cycles.  ``None`` derives ``4 * tRRD`` — the
     #: loosest JEDEC-legal value, under which tRRD spacing alone already
     #: satisfies the window; datasheets with a tighter power budget set
     #: it explicitly.
-    tFAW: int | None = None
+    tFAW: DramCycles | None = None
 
     @property
     def clock_mhz(self) -> float:
@@ -53,17 +63,17 @@ class DramTimings:
         return self.data_rate_mtps / 2.0
 
     @property
-    def burst_cycles(self) -> int:
+    def burst_cycles(self) -> DramCycles:
         """Data-bus occupancy of one burst, in command-clock cycles."""
         return self.burst_length // 2
 
     @property
-    def refresh_interval_cycles(self) -> int:
+    def refresh_interval_cycles(self) -> DramCycles:
         """DRAM cycles between successive REF commands (tREFI)."""
         return int(self.refresh_interval_us * self.clock_mhz)
 
     @property
-    def effective_tFAW(self) -> int:
+    def effective_tFAW(self) -> DramCycles:
         """Four-activate window in DRAM cycles (derived when unset)."""
         return self.tFAW if self.tFAW is not None else 4 * self.tRRD
 

@@ -228,10 +228,14 @@ class OutOfOrderCore:
             return
         hierarchy = self.hierarchy
         provider = self.provider
+        load_issue = self._load_issue
+        core_id = self.core_id
+        stats = self.stats
+        tracer = self.tracer
         for slot in slots:
             critical, magnitude = provider.annotate(slot.pc)
             handle = hierarchy.load(
-                self.core_id,
+                core_id,
                 slot.pc,
                 slot.addr,
                 critical,
@@ -242,20 +246,28 @@ class OutOfOrderCore:
             if handle is None:
                 # L1 MSHRs full: replay next cycle through a fresh port slot.
                 retry = self._book_fu(LOAD, now + 1)
-                self._load_issue.setdefault(retry, []).append(slot)
+                bucket = load_issue.get(retry)
+                if bucket is None:
+                    # repro-lint: disable=PERF001 fresh owned bucket, first retry only
+                    bucket = load_issue[retry] = []
+                bucket.append(slot)
                 continue
             slot.handle = handle
             slot.issued = True
             if critical:
-                self.stats.critical_loads_sent += 1
-                if self.tracer is not None:
-                    self.tracer.prediction(now, self.core_id, slot.pc, magnitude)
-            self.stats.loads += 1
+                stats.critical_loads_sent += 1
+                if tracer is not None:
+                    tracer.prediction(now, core_id, slot.pc, magnitude)
+            stats.loads += 1
 
     def _do_commit(self, now: int) -> None:
         stats = self.stats
         rob = self._rob
         complete = self._complete
+        provider = self.provider
+        hierarchy = self.hierarchy
+        core_id = self.core_id
+        tracer = self.tracer
         committed = 0
         width = self._commit_width
         while committed < width and self._rob_head < len(rob):
@@ -272,7 +284,7 @@ class OutOfOrderCore:
                         head.blocking_start = now
                         stats.blocking_loads += 1
                         stats.blocking_dram_loads += 1
-                        self.provider.on_block_start(
+                        provider.on_block_start(
                             head.pc, now, head.handle.txn
                         )
                     stats.blocked_cycles += 1
@@ -280,7 +292,7 @@ class OutOfOrderCore:
                         stats.blocked_dram_cycles += 1
                 break
             itype = head.itype
-            if itype == STORE and not self.hierarchy.can_accept_store(self.core_id):
+            if itype == STORE and not hierarchy.can_accept_store(core_id):
                 # Store buffer full: commit stalls until it drains.
                 stats.sq_full_cycles += 1
                 break
@@ -288,16 +300,16 @@ class OutOfOrderCore:
                 if head.blocking_start >= 0:
                     stall = now - head.blocking_start
                     stats.total_block_stall += stall
-                    if self.tracer is not None:
-                        self.tracer.block_episode(
-                            head.blocking_start, self.core_id, head.pc, stall
+                    if tracer is not None:
+                        tracer.block_episode(
+                            head.blocking_start, core_id, head.pc, stall
                         )
-                    self.provider.on_blocked_commit(head.pc, stall, now)
-                self.provider.on_load_consumers(head.pc, head.consumers)
+                    provider.on_blocked_commit(head.pc, stall, now)
+                provider.on_load_consumers(head.pc, head.consumers)
                 self._lq_used -= 1
             elif itype == STORE:
                 self._sq_used -= 1
-                self.hierarchy.store(self.core_id, head.addr, now)
+                hierarchy.store(core_id, head.addr, now)
             del self._slot_by_idx[head.idx]
             self._rob_head += 1
             committed += 1
@@ -310,6 +322,7 @@ class OutOfOrderCore:
             return
         trace = self.trace
         rob = self._rob
+        stats = self.stats
         rob_limit = self._rob_entries
         fetch_width = self._fetch_width
         itypes = trace.itypes
@@ -318,13 +331,13 @@ class OutOfOrderCore:
         counted_lq_full = False
         while dispatched < fetch_width and self._ptr < n:
             if len(rob) - self._rob_head >= rob_limit:
-                self.stats.rob_full_cycles += 1
+                stats.rob_full_cycles += 1
                 break
             i = self._ptr
             itype = itypes[i]
             if itype == LOAD and self._lq_used >= self._lq_entries:
                 if not counted_lq_full:
-                    self.stats.lq_full_cycles += 1
+                    stats.lq_full_cycles += 1
                     counted_lq_full = True
                 break
             if itype == STORE and self._sq_used >= self._sq_entries:
@@ -366,6 +379,7 @@ class OutOfOrderCore:
                 if producer is None:
                     continue
                 if producer.waiters is None:
+                    # repro-lint: disable=PERF001 one owned list per producer, amortised
                     producer.waiters = []
                 producer.waiters.append(slot)
                 slot.deps_pending += 1

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.config import DramTimings
+from repro.config import DramCycles, DramTimings
 
 
 class ChannelTiming:
@@ -49,7 +49,7 @@ class ChannelTiming:
         self.rank_read_after_write = [0] * ranks
         # Per-rank issue cycles of the last four ACTIVATEs (tFAW window).
         self.rank_act_history = [deque(maxlen=4) for _ in range(ranks)]
-        self._tFAW = timings.effective_tFAW
+        self._tFAW: DramCycles = timings.effective_tFAW
 
     # -- legality checks ---------------------------------------------------
 

@@ -216,10 +216,18 @@ class ChannelController:
     def _service_refresh(self, now: int) -> bool:
         """Handle due refreshes; returns True if this cycle's slot was used."""
         t = self.timings
+        tRFC = t.tRFC
+        refresh_due = self._refresh_due
+        next_refresh = self._next_refresh
+        stats = self.stats
+        sanitizer = self.sanitizer
+        trace = self.trace
+        ratio = self._cpu_ratio
+        channel_id = self.channel_id
         for rank in range(self.config.ranks_per_channel):
-            if not self._refresh_due[rank]:
-                if now >= self._next_refresh[rank]:
-                    self._refresh_due[rank] = True
+            if not refresh_due[rank]:
+                if now >= next_refresh[rank]:
+                    refresh_due[rank] = True
                 else:
                     continue
             # Precharge any open bank first (one command per cycle).
@@ -230,32 +238,30 @@ class ChannelController:
                     all_closed = False
                     if now >= bank.pre_ready:
                         bank.do_precharge(now)
-                        self.stats.precharges += 1
-                        if self.sanitizer is not None:
-                            self.sanitizer.on_precharge(rank, bank.index, now)
-                        if self.trace is not None:
-                            ratio = self._cpu_ratio
-                            self.trace.command(
-                                now * ratio, self.channel_id, rank, bank.index,
+                        stats.precharges += 1
+                        if sanitizer is not None:
+                            sanitizer.on_precharge(rank, bank.index, now)
+                        if trace is not None:
+                            trace.command(
+                                now * ratio, channel_id, rank, bank.index,
                                 "PRE", -1, t.tRP * ratio,
                             )
                         return True
             if not all_closed:
                 continue
             if all(now >= bank.act_ready for bank in banks):
-                done = now + t.tRFC
+                done = now + tRFC
                 for bank in banks:
                     bank.block_until(done)
-                self._next_refresh[rank] += t.refresh_interval_cycles
-                self._refresh_due[rank] = False
-                self.stats.refreshes += 1
-                if self.sanitizer is not None:
-                    self.sanitizer.on_refresh(rank, now)
-                if self.trace is not None:
-                    ratio = self._cpu_ratio
-                    self.trace.command(
-                        now * ratio, self.channel_id, rank, 0,
-                        "REF", -1, t.tRFC * ratio,
+                next_refresh[rank] += t.refresh_interval_cycles
+                refresh_due[rank] = False
+                stats.refreshes += 1
+                if sanitizer is not None:
+                    sanitizer.on_refresh(rank, now)
+                if trace is not None:
+                    trace.command(
+                        now * ratio, channel_id, rank, 0,
+                        "REF", -1, tRFC * ratio,
                     )
                 return True
         return False
@@ -297,6 +303,8 @@ class ChannelController:
                     protected_critical.add(key)
 
         timing = self.timing
+        activate = CommandKind.ACTIVATE
+        precharge = CommandKind.PRECHARGE
         candidates = []
         seen_bank_cmd = set()
         for txn in work:
@@ -313,16 +321,16 @@ class ChannelController:
                     kind = CommandKind.WRITE if txn.is_write else CommandKind.READ
                     candidates.append(CandidateCommand(kind, txn, rank, bindex, row))
             elif open_row is None:
-                key = (CommandKind.ACTIVATE, rank, bindex)
+                key = (activate, rank, bindex)
                 if key in seen_bank_cmd:
                     continue
                 if now >= bank.act_ready and timing.can_activate(rank, now):
                     seen_bank_cmd.add(key)
                     candidates.append(
-                        CandidateCommand(CommandKind.ACTIVATE, txn, rank, bindex, row)
+                        CandidateCommand(activate, txn, rank, bindex, row)
                     )
             else:
-                key = (CommandKind.PRECHARGE, rank, bindex)
+                key = (precharge, rank, bindex)
                 if key in seen_bank_cmd:
                     continue
                 if now >= bank.pre_ready:
@@ -330,7 +338,7 @@ class ChannelController:
                     bkey = (rank, bindex)
                     candidates.append(
                         CandidateCommand(
-                            CommandKind.PRECHARGE, txn, rank, bindex, open_row,
+                            precharge, txn, rank, bindex, open_row,
                             blocked_by_hits=bkey in protected,
                             hit_is_critical=bkey in protected_critical,
                             row_idle=now - bank.last_use,

@@ -122,6 +122,10 @@ class MorseScheduler(Scheduler):
 
     # -- decision ----------------------------------------------------------------
 
+    # Epsilon-greedy exploration is the policy itself: the draws come from
+    # the seeded per-instance stream (``_rng``, DET001-clean) and every
+    # divergence is caught by the det_state decision words.
+    # repro-lint: disable=SEM031 seeded exploration stream is the policy
     def select(self, candidates, controller, now):
         candidates = self.admissible(candidates, controller)
         if not candidates:

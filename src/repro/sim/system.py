@@ -21,7 +21,7 @@ import copy
 import heapq
 import os
 
-from repro.analysis import detchain
+from repro.analysis import detchain, effectcheck
 from repro.config import SystemConfig
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.provider import CriticalityProvider, NullProvider
@@ -132,6 +132,11 @@ class System:
                 channel.trace = recorder
             self.hierarchy.trace = recorder
         self.telemetry.begin_stream(self.label)
+        # Purity-certificate cross-check (REPRO_VERIFY_EFFECTS=1): bracket
+        # certified window-invariant hooks with det_state snapshots so an
+        # undeclared mutation fails at the call, not as a later chain split.
+        if effectcheck.enabled():
+            effectcheck.instrument_system(self)
 
     @staticmethod
     def resolve_engine(engine: str | None, skip_cycles: bool = True) -> str:

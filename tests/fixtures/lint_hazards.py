@@ -81,6 +81,28 @@ def drop_silently(action):
         pass  # EXC002: error erased without a trace
 
 
+class HotPathWaste:
+    """PERF rules: per-cycle hot methods paying avoidable loop costs."""
+
+    def step(self, now):
+        # PERF001: a fresh list per iteration of a per-cycle loop.
+        for channel in self.channels:
+            staged = []
+            staged.append(channel)
+        # PERF003: a dict built from scratch every iteration.
+        while now < self.deadline:
+            lookup = {"now": now}
+            now += lookup["now"]
+
+    def select(self, candidates, controller, now):
+        # PERF002: controller.read_queue re-walked on every iteration.
+        best = None
+        for cand in candidates:
+            if len(controller.read_queue) > 4 and controller.read_queue:
+                best = cand
+        return best
+
+
 def suppressed_example():
     # A correctly suppressed finding: counts as `suppressed`, not a finding.
     t0 = time.perf_counter()  # repro-lint: disable=DET002 fixture example

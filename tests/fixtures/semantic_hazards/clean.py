@@ -29,8 +29,21 @@ class CoveredController:
     def step(self, now):
         self.commands_issued_total += 1
 
+    def next_wake(self, now):
+        # Legal version of the SEM030 fixture: genuinely pure probe.
+        return now + 1
+
     def det_state(self):
         return [self.commands_issued_total]
+
+
+class WindowReader:
+    """Legal version of the SEM032 fixture: the cited certificate is
+    current (det_state is window-invariant)."""
+
+    def snapshot(self, controller):
+        # repro-batch: cert=CoveredController.det_state
+        return controller.det_state()
 
 
 class OldestFirstScheduler(Scheduler):

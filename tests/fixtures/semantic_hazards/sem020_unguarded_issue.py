@@ -18,3 +18,22 @@ class GreedyRowHitScheduler(Scheduler):
             # SEM020: same — first-listed wins regardless of queue age.
             return candidates[0]
         return None
+
+
+class AgeLoggingScheduler(Scheduler):
+    """Reads the age signal but never *orders* by it: summing ``seq``
+    into a stat is bookkeeping, not a starvation bound, so the issue
+    decision is still unguarded."""
+
+    name = "age-logging"
+
+    def select(self, candidates, controller, now):
+        candidates = self.admissible(candidates, controller)
+        total_age = 0
+        for cand in candidates:
+            # Mention without comparison: must NOT count as a guard.
+            total_age = total_age + cand.txn.seq
+        if total_age and candidates:
+            # SEM020: the pick ignores the ages it just tallied.
+            return candidates[0]
+        return None

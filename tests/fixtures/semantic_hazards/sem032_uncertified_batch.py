@@ -1,0 +1,26 @@
+"""SEM032: a batching shortcut citing a certificate that does not hold.
+
+``WindowJumper.jump`` skips the per-cycle loop by calling
+``MutatingModel.step`` once for the whole window, citing it as
+batch-safe — but the effect analysis classifies ``step`` as
+per-cycle-only (it mutates ``count`` and appends to ``log``), so the
+cited certificate is not current and SEM032 fires on the marker.
+"""
+
+
+class MutatingModel:
+    def __init__(self):
+        self.count = 0
+        self.log = []
+
+    def step(self, now):
+        self.count += 1
+        self.log.append(now)
+        return self.count
+
+
+class WindowJumper:
+    def jump(self, model, start, end):
+        # SEM032: step is per-cycle-only; this certificate is stale.
+        # repro-batch: cert=MutatingModel.step
+        return model.step(end)

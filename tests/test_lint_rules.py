@@ -489,6 +489,116 @@ class TestSuppression:
         assert [f.rule for f in report.suppressed] == ["SUP001"]
 
 
+class TestPerfRules:
+    def test_list_alloc_in_hot_loop(self):
+        assert "PERF001" in rules_hit("""
+            class Core:
+                def step(self, now):
+                    for unit in self.units:
+                        scratch = []
+                        scratch.append(unit)
+        """)
+
+    def test_alloc_outside_loop_is_clean(self):
+        assert "PERF001" not in rules_hit("""
+            class Core:
+                def step(self, now):
+                    scratch = []
+                    for unit in self.units:
+                        scratch.append(unit)
+        """)
+
+    def test_alloc_in_cold_method_is_clean(self):
+        assert "PERF001" not in rules_hit("""
+            class Core:
+                def summarize(self):
+                    for unit in self.units:
+                        rows = [unit.name]
+                        self.emit(rows)
+        """)
+
+    def test_while_test_is_per_iteration(self):
+        assert "PERF003" in rules_hit("""
+            class Core:
+                def step(self, now):
+                    while now in {1, 2, 3}:
+                        now += 1
+        """)
+
+    def test_dict_build_in_hot_loop(self):
+        assert "PERF003" in rules_hit("""
+            class Core:
+                def tick(self, events):
+                    for ev in events:
+                        seen = {"id": ev}
+                        self.emit(seen)
+        """)
+
+    def test_repeated_chain_fires(self):
+        assert "PERF002" in rules_hit("""
+            class Sched:
+                def select(self, candidates, controller, now):
+                    for cand in candidates:
+                        if len(controller.read_queue) > 2 and controller.read_queue:
+                            return cand
+        """)
+
+    def test_hoisted_chain_is_clean(self):
+        assert "PERF002" not in rules_hit("""
+            class Sched:
+                def select(self, candidates, controller, now):
+                    queue = controller.read_queue
+                    for cand in candidates:
+                        if len(queue) > 2 and queue:
+                            return cand
+        """)
+
+    def test_reassigned_chain_is_exempt(self):
+        # self.cursor changes inside the loop; it cannot be hoisted.
+        assert "PERF002" not in rules_hit("""
+            class Core:
+                def step(self, now):
+                    for unit in self.units:
+                        self.cursor = self.cursor + 1
+        """)
+
+    def test_loop_variable_chains_are_exempt(self):
+        assert "PERF002" not in rules_hit("""
+            class Sched:
+                def select(self, candidates, controller, now):
+                    for cand in candidates:
+                        if cand.txn.seq and cand.txn.critical:
+                            return cand
+        """)
+
+    def test_pure_method_calls_are_exempt(self):
+        assert "PERF002" not in rules_hit("""
+            class Core:
+                def step(self, now):
+                    for unit in self.units:
+                        self.poke(unit)
+                        self.poke(unit)
+        """)
+
+    def test_suppression(self):
+        report = lint_source(textwrap.dedent("""
+            class Core:
+                def step(self, now):
+                    for unit in self.units:
+                        # repro-lint: disable=PERF001 handoff owns the list
+                        box = [unit]
+                        self.emit(box)
+        """))
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["PERF001"]
+
+    def test_hot_methods_cover_the_per_cycle_hooks(self):
+        from repro.analysis.lint import HOT_METHODS
+        from repro.analysis.semantic.effects import PER_CYCLE_HOOKS
+
+        assert PER_CYCLE_HOOKS <= HOT_METHODS
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         source = "import time\nfor x in {1, 2}:\n    t = time.time()\n"

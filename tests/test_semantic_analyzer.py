@@ -21,13 +21,24 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.lint import iter_python_files
 from repro.analysis.semantic import (
     SEMANTIC_RULES,
     analyze_paths,
     analyze_source,
     main,
 )
+from repro.analysis.semantic.batchability import build_report
 from repro.analysis.semantic.cfg import build_cfg, reachable_avoiding
+from repro.analysis.semantic.domains import (
+    ATTR_SEEDS,
+    CPU,
+    DRAM,
+    NS,
+    CycleDomainPass,
+    seed_attr_domains_from_types,
+)
+from repro.analysis.semantic.effects import classify, infer_effects
 from repro.analysis.semantic.modgraph import ModuleGraph, module_name_for
 from repro.analysis.suppress import known_rule_ids, parse_suppressions
 
@@ -151,6 +162,9 @@ class TestHazardFixtures:
         assert by_file["sem020_unguarded_issue.py"] == {"SEM020"}
         assert by_file["sem021_direct_mutation.py"] == {"SEM021"}
         assert by_file["sem022_missing_override.py"] == {"SEM022"}
+        assert by_file["sem030_undeclared_mutation.py"] == {"SEM030"}
+        assert by_file["sem031_rng_in_hook.py"] == {"SEM031"}
+        assert by_file["sem032_uncertified_batch.py"] == {"SEM032"}
 
     def test_clean_counter_examples_stay_clean(self, report):
         by_file = rules_by_file(report)
@@ -170,6 +184,41 @@ class TestHazardFixtures:
         msgs = [f.message for f in report.findings if f.rule == "SEM022"]
         assert any("name" in m for m in msgs)
         assert any("select" in m for m in msgs)
+
+    def test_sem020_mention_without_ordering_still_fires(self, report):
+        # AgeLoggingScheduler sums txn.seq into a stat but never orders
+        # by it; a token mention alone must not satisfy the guard.
+        msgs = [f.message for f in report.findings if f.rule == "SEM020"]
+        assert any("AgeLoggingScheduler" in m for m in msgs)
+        assert any("GreedyRowHitScheduler" in m for m in msgs)
+
+    def test_sem020_key_helper_ordering_counts_as_guard(self, tmp_path):
+        # The TCM shape: the ordering comparison is on a local returned
+        # by an age-bearing self-helper.  Must stay clean.
+        mod = tmp_path / "mod.py"
+        mod.write_text(textwrap.dedent("""
+            class Scheduler:
+                def select(self, candidates, controller, now):
+                    raise NotImplementedError
+
+            class KeyHelperScheduler(Scheduler):
+                name = "key-helper"
+
+                def _key(self, cand):
+                    return (not cand.is_cas, cand.txn.seq)
+
+                def select(self, candidates, controller, now):
+                    best = None
+                    best_key = None
+                    for cand in candidates:
+                        key = self._key(cand)
+                        if best is None or key < best_key:
+                            best = cand
+                            best_key = key
+                    return best
+        """))
+        report = analyze_paths([tmp_path])
+        assert not [f for f in report.findings if f.rule == "SEM020"]
 
 
 # ---------------------------------------------------------------- repo contract
@@ -223,6 +272,28 @@ class TestRepoContract:
         assert "ChannelController" in finding.message
         assert "sneaky_probe" in finding.message
 
+    def test_injected_purity_violation_caught_by_sem030(self, tmp_path):
+        """A mutation smuggled into a certified-pure method is caught.
+
+        ``next_wake`` carries a window-invariance certificate; bumping
+        the (det_state-covered, so SEM010-silent) ``_seq`` counter
+        inside it must trip SEM030 and nothing else.
+        """
+        tree = tmp_path / "repro"
+        shutil.copytree(SRC, tree)
+        controller = tree / "dram" / "controller.py"
+        source = controller.read_text()
+        anchor = ("if self.read_queue or self.write_queue "
+                  "or any(self._refresh_due):")
+        assert source.count(anchor) == 1
+        source = source.replace(
+            anchor, "self._seq += 1\n        " + anchor, 1
+        )
+        controller.write_text(source)
+        report = analyze_paths([tree.parent])
+        assert [f.rule for f in report.findings] == ["SEM030"]
+        assert "_seq" in report.findings[0].message
+
     def test_injected_field_becomes_clean_when_registered(self, tmp_path):
         """Folding the injected field into det_state() clears the finding."""
         tree = tmp_path / "repro"
@@ -243,6 +314,292 @@ class TestRepoContract:
         controller.write_text(source)
         report = analyze_paths([tree.parent])
         assert not report.findings
+
+
+# ------------------------------------------------------ type-domain seeding
+
+
+class TestTypeDomainSeeding:
+    """Cycle-domain seeds harvested from the unit-bearing type aliases
+    (``DramCycles``/``CpuCycles``/``Nanos`` in :mod:`repro.config`)
+    rather than hand-written name tables."""
+
+    def _graph(self, tmp_path, body):
+        mod = tmp_path / "mod.py"
+        mod.write_text(textwrap.dedent(body))
+        return ModuleGraph.load([mod])
+
+    def test_src_annotations_seed_the_timing_fields(self):
+        graph = ModuleGraph.load(iter_python_files([SRC]))
+        seeds = seed_attr_domains_from_types(graph)
+        # Dataclass field, optional field, property return, annotated
+        # instance attribute — one of each spelling.
+        assert seeds["tRCD"] == DRAM
+        assert seeds["tFAW"] == DRAM  # DramCycles | None
+        assert seeds["effective_tFAW"] == DRAM  # property return
+        assert seeds["_tFAW"] == DRAM  # self._tFAW: DramCycles = ...
+        assert seeds["refresh_interval_us"] == NS
+        # The hand-written table no longer duplicates the annotations.
+        assert "tRCD" not in ATTR_SEEDS
+        assert "effective_tFAW" not in ATTR_SEEDS
+
+    def test_renamed_annotated_field_keeps_its_clock(self, tmp_path):
+        # The point of type-based seeding: rename a timing field and the
+        # analyzer still knows its clock, with no seed-table edit.
+        graph = self._graph(tmp_path, """
+            DramCycles = int
+
+            class Timings:
+                t_renamed: DramCycles = 7
+
+            class Uses:
+                def f(self, timing, cpu_now):
+                    return cpu_now + timing.t_renamed
+        """)
+        assert "t_renamed" not in ATTR_SEEDS
+        findings = CycleDomainPass().run(graph)
+        assert [f.rule for f in findings] == ["SEM001"]
+
+    def test_annotation_spellings(self, tmp_path):
+        graph = self._graph(tmp_path, """
+            from typing import Optional
+
+            class C:
+                a: "DramCycles"
+                b: Optional[CpuCycles] = None
+                c: Nanos | None = None
+
+                def __init__(self):
+                    self.inst: CpuCycles = 0
+
+                @property
+                def derived(self) -> DramCycles:
+                    return self.a
+
+                def plain(self) -> DramCycles:
+                    return self.a
+        """)
+        seeds = seed_attr_domains_from_types(graph)
+        assert seeds["a"] == DRAM
+        assert seeds["b"] == CPU
+        assert seeds["c"] == NS
+        assert seeds["inst"] == CPU
+        assert seeds["derived"] == DRAM
+        # Only *properties* read like attributes; a plain method's
+        # return annotation must not seed its name.
+        assert "plain" not in seeds
+
+    def test_conflicting_annotations_drop_the_seed(self, tmp_path):
+        graph = self._graph(tmp_path, """
+            DramCycles = int
+            CpuCycles = int
+
+            class A:
+                dual: DramCycles = 1
+
+            class B:
+                dual: CpuCycles = 2
+
+            class D:
+                solo: DramCycles = 3
+        """)
+        seeds = seed_attr_domains_from_types(graph)
+        assert "dual" not in seeds
+        assert seeds["solo"] == DRAM
+
+
+# ---------------------------------------------------------- effect inference
+
+
+class TestEffectInference:
+    @pytest.fixture(scope="class")
+    def table(self, tmp_path_factory):
+        mod = tmp_path_factory.mktemp("effects") / "mod.py"
+        mod.write_text(textwrap.dedent("""
+            class M:
+                def __init__(self):
+                    self.total = 0
+                    self.seen = []
+
+                def peek(self):
+                    return self.total
+
+                def bump(self):
+                    self.total += 1
+
+                def absorb(self, x):
+                    self.seen.append(x)
+
+                def relay(self):
+                    self.bump()
+
+                def draw(self):
+                    return self._rng.random()
+
+                def report(self):
+                    print(self.total)
+
+            class Helper:
+                def poke(self, controller):
+                    controller.read_queue.append(1)
+        """))
+        graph = ModuleGraph.load([mod])
+        return infer_effects(graph)
+
+    def test_pure_reader_is_window_invariant(self, table):
+        eff = table["mod.M.peek"]
+        assert eff.pure
+        assert classify(eff) == "window-invariant"
+
+    def test_additive_mutation_is_monotone(self, table):
+        eff = table["mod.M.bump"]
+        assert "total" in eff.mutates
+        assert classify(eff) == "monotone-accumulating"
+
+    def test_container_mutation_is_per_cycle_only(self, table):
+        assert classify(table["mod.M.absorb"]) == "per-cycle-only"
+
+    def test_effects_propagate_through_self_calls(self, table):
+        eff = table["mod.M.relay"]
+        assert "total" in eff.mutates
+        assert classify(eff) == "monotone-accumulating"
+
+    def test_rng_and_io_demote_to_per_cycle_only(self, table):
+        assert table["mod.M.draw"].rng
+        assert table["mod.M.report"].io
+        assert classify(table["mod.M.draw"]) == "per-cycle-only"
+        assert classify(table["mod.M.report"]) == "per-cycle-only"
+
+    def test_foreign_mutation_is_tracked(self, table):
+        eff = table["mod.Helper.poke"]
+        assert any("read_queue" in d for d in eff.foreign)
+        assert classify(eff) == "per-cycle-only"
+
+
+#: The full registry the report must classify (ROADMAP scheduler set).
+SCHEDULER_NAMES = {
+    "ahb", "atlas", "casras-crit", "crit-casras", "crit-rl", "fcfs",
+    "fr-fcfs", "minimalist", "morse-p", "par-bs", "tcm", "tcm+crit",
+}
+
+
+class TestBatchabilityReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        graph = ModuleGraph.load(iter_python_files([SRC]))
+        return build_report(graph)
+
+    def test_every_hot_class_is_certified(self, report):
+        assert set(report["classes"]) == {
+            "ChannelController", "MemoryHierarchy", "MemorySystem",
+            "OutOfOrderCore",
+        }
+
+    def test_every_scheduler_is_certified(self, report):
+        assert set(report["schedulers"]) == SCHEDULER_NAMES
+        for name, hooks in report["schedulers"].items():
+            assert "select" in hooks, name
+            assert "det_state" in hooks, name
+
+    def test_known_certificates_hold(self, report):
+        cc = report["classes"]["ChannelController"]
+        assert cc["next_wake"]["classification"] == "window-invariant"
+        assert cc["can_accept"]["classification"] == "window-invariant"
+        assert cc["account_idle"]["classification"] == "monotone-accumulating"
+        assert cc["step"]["classification"] == "per-cycle-only"
+        core = report["classes"]["OutOfOrderCore"]
+        assert core["skip_plan"]["classification"] == "window-invariant"
+        assert core["step"]["classification"] == "per-cycle-only"
+        assert (report["schedulers"]["fcfs"]["select"]["classification"]
+                == "window-invariant")
+
+    def test_every_entry_is_fully_classified(self, report):
+        kinds = {"window-invariant", "monotone-accumulating",
+                 "per-cycle-only"}
+        groups = list(report["classes"].values())
+        groups += list(report["schedulers"].values())
+        for hooks in groups:
+            for entry in hooks.values():
+                assert entry["classification"] in kinds
+                assert entry["line"] > 0
+                assert entry["path"]
+
+
+# ------------------------------------------------------------ incremental cache
+
+
+class TestIncrementalCache:
+    """Shard-wise cache: correct reuse, correct invalidation."""
+
+    def _tree(self, root):
+        pkg = root / "pkg"
+        for d in (pkg, pkg / "one", pkg / "two"):
+            d.mkdir(parents=True, exist_ok=True)
+            (d / "__init__.py").write_text("")
+        (pkg / "one" / "timing.py").write_text(
+            "def f(cpu_now, dram_now):\n    return cpu_now - dram_now\n"
+        )
+        (pkg / "two" / "uses.py").write_text(
+            "from pkg.one.timing import f\n\n\n"
+            "def g(cpu_now):\n    return f(cpu_now, 0)\n"
+        )
+        return pkg
+
+    def test_cold_then_warm_reuses_every_shard(self, tmp_path):
+        from repro.analysis.inccache import analyze_paths_cached
+
+        pkg = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        cold = analyze_paths_cached([pkg], cache_dir=cache)
+        assert not cold.hits and len(cold.misses) == 3
+        assert [f.rule for f in cold.report.findings] == ["SEM001"]
+
+        warm = analyze_paths_cached([pkg], cache_dir=cache)
+        assert not warm.misses and len(warm.hits) == 3
+        assert ([(f.rule, f.path, f.line) for f in warm.report.findings]
+                == [(f.rule, f.path, f.line) for f in cold.report.findings])
+        # Matches the whole-program answer.
+        whole = analyze_paths([pkg])
+        assert ([(f.rule, f.line) for f in whole.findings]
+                == [(f.rule, f.line) for f in warm.report.findings])
+
+    def test_single_file_change_invalidates_only_dependents(self, tmp_path):
+        from repro.analysis.inccache import analyze_paths_cached
+
+        pkg = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        analyze_paths_cached([pkg], cache_dir=cache)
+
+        # Editing the leaf package invalidates exactly its own shard.
+        leaf = pkg / "two" / "uses.py"
+        leaf.write_text(leaf.read_text() + "\n# touched\n")
+        after = analyze_paths_cached([pkg], cache_dir=cache)
+        assert after.misses == [str((pkg / "two").resolve())]
+        assert len(after.hits) == 2
+
+        # Editing a depended-on package also invalidates its importers.
+        base = pkg / "one" / "timing.py"
+        base.write_text(
+            "def f(cpu_now, dram_wake, cpu_ratio):\n"
+            "    return cpu_now - dram_wake * cpu_ratio\n"
+        )
+        fixed = analyze_paths_cached([pkg], cache_dir=cache)
+        assert set(fixed.misses) == {
+            str((pkg / "one").resolve()), str((pkg / "two").resolve()),
+        }
+        assert not fixed.report.findings
+
+    def test_select_is_part_of_the_key(self, tmp_path):
+        from repro.analysis.inccache import analyze_paths_cached
+
+        pkg = self._tree(tmp_path)
+        cache = tmp_path / "cache"
+        analyze_paths_cached([pkg], cache_dir=cache)
+        narrowed = analyze_paths_cached(
+            [pkg], select={"SEM021"}, cache_dir=cache
+        )
+        assert len(narrowed.misses) == 3
+        assert not narrowed.report.findings
 
 
 # -------------------------------------------------------------- inline sources
