@@ -9,12 +9,17 @@
     python -m repro check-determinism fft      # cross-mode/-process chains
     python -m repro profile fft                # cProfile + component report
     python -m repro profile fft --engines fast,event   # engine A/B timing
+    python -m repro profile fft --counters     # REPRO_PERF counter snapshot
+    python -m repro bench --quick              # wall-clock regression suite
+    python -m repro bench --compare OLD NEW    # exit 1 on regression
     python -m repro stats fft --sample-every 256   # telemetry summaries
     python -m repro trace fft --out timeline.json  # Chrome/Perfetto trace
     python -m repro trace fft --stream DIR         # stream events while running
     python -m repro trace --from-stream DIR        # finalize a streamed trace
     python -m repro trace --from-stream DIR --follow   # tail raw events live
     python -m repro watch DIR                      # live dashboard of a stream
+    python -m repro watch ROOT                     # fleet table (REPRO_FLEET_DIR)
+    python -m repro watch ROOT --run ID            # drill into one fleet run
 
 ``run`` and ``experiment`` accept engine flags: ``--jobs N`` (worker
 processes), ``--no-cache`` (bypass the on-disk result cache),
@@ -259,6 +264,18 @@ def _cmd_trace(args) -> int:
     )
 
     if args.from_stream:
+        from repro.telemetry import fleet
+
+        if fleet.is_fleet_root(args.from_stream):
+            # a registry root holds many runs' streams, not one stream
+            runs = ", ".join(
+                e["run_id"]
+                for e in fleet.RunRegistry(args.from_stream).entries()
+            ) or "(none registered yet)"
+            print(f"error: {args.from_stream} is a fleet registry root, "
+                  f"not a stream directory; pass one of its runs "
+                  f"instead: {runs}", file=sys.stderr)
+            return 1
         if args.follow:
             from repro.telemetry.monitor import follow_events
 
@@ -331,7 +348,14 @@ def _cmd_watch(args) -> int:
         interval=args.interval,
         once=args.once,
         frames=args.frames,
+        run=args.run,
     )
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+
+    return bench_main(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,6 +466,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render a single frame and exit")
     watch_p.add_argument("--frames", type=int, default=None, metavar="N",
                          help="exit after N refreshes (for CI)")
+    watch_p.add_argument("--run", default=None, metavar="ID",
+                         help="with a fleet root (REPRO_FLEET_DIR): drill "
+                              "down into one registered run by id or label")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the wall-clock regression suite, or compare two records",
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="CI smoke subset: fewer cells, repeats, and "
+                              "instructions")
+    bench_p.add_argument("--repeats", type=int, default=None, metavar="N",
+                         help="runs per cell (default 3, --quick 2)")
+    bench_p.add_argument("--instructions", type=int, default=None,
+                         metavar="N",
+                         help="instructions per core "
+                              "(default 8000, --quick 3000)")
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--cells", default=None, metavar="A,B,...",
+                         help="comma-separated subset of suite cell names")
+    bench_p.add_argument("--out", default=None, metavar="PATH",
+                         help="record path (default: next free "
+                              "BENCH_<n>.json)")
+    bench_p.add_argument("--compare", nargs=2, default=None,
+                         metavar=("OLD", "NEW"),
+                         help="compare two bench records instead of "
+                              "running; exit 1 on regression")
+    bench_p.add_argument("--threshold", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="relative slowdown treated as regression "
+                              "(default 0.25)")
 
     prof_p = sub.add_parser(
         "profile",
@@ -463,6 +518,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="instead of profiling, time one run per "
                              "engine and report speedups + identity "
                              "(e.g. --engines fast,event)")
+    prof_p.add_argument("--counters", action="store_true",
+                        help="instead of cProfile, run once with "
+                             "REPRO_PERF=1 and render the host "
+                             "perf-counter snapshot")
     prof_p.add_argument("--json", default=None, metavar="PATH",
                         help="also write the report as JSON")
 
@@ -496,6 +555,7 @@ def main(argv=None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "watch": _cmd_watch,
+        "bench": _cmd_bench,
         "profile": _cmd_profile,
         "check-determinism": _cmd_check_determinism,
     }

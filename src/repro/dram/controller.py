@@ -476,6 +476,10 @@ class MemorySystem:
         # loop implementation is switched mid-experiment.
         self._chan_wake = [0] * config.channels
         self._chan_settled = [0] * config.channels
+        # Host-side perf counters (REPRO_PERF=1): set by System when
+        # enabled, else None.  Host observability only — never part of
+        # det_state or any simulated-machine statistic.
+        self._perf = None
 
     # -- request path -----------------------------------------------------------
 
@@ -578,6 +582,7 @@ class MemorySystem:
         dram_now = cpu_now // self._ratio
         wakes = self._chan_wake
         settled = self._chan_settled
+        perf = self._perf
         for i, channel in enumerate(self.channels):
             if wakes[i] > dram_now:
                 continue
@@ -587,6 +592,8 @@ class MemorySystem:
             channel.step(dram_now)
             settled[i] = dram_now + 1
             wakes[i] = channel.next_wake(dram_now)
+            if perf is not None:
+                perf.chan_wake_republishes += 1
 
     def wake_cpu(self, cpu_now: int) -> int:
         """O(channels) equivalent of :meth:`next_wake_cpu` for the event

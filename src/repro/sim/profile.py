@@ -13,9 +13,14 @@ Two observation modes over the same workload:
   clock, cycles/second, and speedup over the first engine listed.  The
   runs must also agree on the determinism chain and result fingerprint,
   so the comparison doubles as a cheap cross-engine identity check.
+* **perf counters** (``--counters``): run once with ``REPRO_PERF=1``
+  and render the :mod:`repro.telemetry.perfcounters` snapshot — engine
+  internals (event pushes/pops, wake-heap churn, skip windows) plus
+  per-phase wall-clock attribution, without cProfile's overhead.
 
-Wall-clock reads in this module are observability only — they are
-reported, never fed back into simulated state.
+Wall-clock reads in this module are observability only — they go
+through :mod:`repro.util.hostclock` and are reported, never fed back
+into simulated state.
 """
 
 from __future__ import annotations
@@ -23,9 +28,9 @@ from __future__ import annotations
 import cProfile
 import json
 import pstats
-import time
 
 from repro.config import SimScale
+from repro.util import hostclock
 
 #: Maps source-path fragments to report components, first match wins.
 #: Order matters: the engine loop lives in sim/ but so do stats/report
@@ -73,11 +78,11 @@ def _run_workload(args):
 def profile_run(args) -> dict:
     """Profile one run; returns the report dict (also printed by the CLI)."""
     profiler = cProfile.Profile()
-    start = time.perf_counter()  # repro-lint: disable=DET002 wall-clock observability
+    start = hostclock.now()
     profiler.enable()
     result = _run_workload(args)
     profiler.disable()
-    wall = time.perf_counter() - start  # repro-lint: disable=DET002 wall-clock observability
+    wall = hostclock.now() - start
 
     stats = pstats.Stats(profiler)
     components: dict[str, float] = {}
@@ -132,9 +137,9 @@ def compare_engines(args) -> dict:
     try:
         for engine in engines:
             os.environ["REPRO_ENGINE"] = engine
-            start = time.perf_counter()  # repro-lint: disable=DET002 wall-clock observability
+            start = hostclock.now()
             result = _run_workload(args)
-            wall = time.perf_counter() - start  # repro-lint: disable=DET002 wall-clock observability
+            wall = hostclock.now() - start
             runs.append(
                 {
                     "engine": engine,
@@ -171,6 +176,39 @@ def compare_engines(args) -> dict:
         "identical": all(run["identical"] for run in runs),
     }
     return report
+
+
+def counters_run(args) -> dict:
+    """Run once with the perf counters on and report the snapshot."""
+    import os
+
+    saved = os.environ.get("REPRO_PERF")
+    os.environ["REPRO_PERF"] = "1"
+    try:
+        result = _run_workload(args)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PERF", None)
+        else:
+            os.environ["REPRO_PERF"] = saved
+    return {
+        "label": result.label,
+        "engine": args.engine or "default",
+        "cycles": result.cycles,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "cycles_per_second": round(result.cycles_per_second, 1),
+        "host_perf": result.host_perf,
+    }
+
+
+def _print_counters(report: dict) -> None:
+    from repro.telemetry.perfcounters import render
+
+    print(f"{report['label']} [{report['engine']}]: "
+          f"{report['cycles']:,} cycles in {report['wall_seconds']:.2f}s "
+          f"({report['cycles_per_second']:,.0f} cycles/s)")
+    print()
+    print(render(report["host_perf"], report["wall_seconds"]))
 
 
 def _print_profile(report: dict) -> None:
@@ -210,6 +248,9 @@ def main(args) -> int:
     if args.engines:
         report = compare_engines(args)
         _print_comparison(report)
+    elif getattr(args, "counters", False):
+        report = counters_run(args)
+        _print_counters(report)
     else:
         report = profile_run(args)
         _print_profile(report)

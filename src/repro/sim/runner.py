@@ -12,11 +12,11 @@ Environment knobs (also settable via ``python -m repro`` flags):
 from __future__ import annotations
 
 import os
-import time
 
 from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
 from repro.sim.stats import SimResult, result_fingerprint, speedup
 from repro.sim.system import System
+from repro.util import hostclock
 from repro.workloads.multiprog import BUNDLES, bundle_traces
 from repro.workloads.parallel import parallel_traces
 
@@ -52,17 +52,20 @@ def _run_system(make_system, max_cycles: int) -> SimResult:
     results are cross-checked for bit-identity.
     """
     engine = _resolve_engine()
-    # Wall-clock observability only: never feeds back into simulated state.
-    start = time.perf_counter()  # repro-lint: disable=DET002 wall_seconds metric
+    # Wall-clock observability only (the sanctioned host clock): never
+    # feeds back into simulated state.
+    start = hostclock.now()
     result = make_system().run(max_cycles=max_cycles, engine=engine)
-    result.wall_seconds = time.perf_counter() - start  # repro-lint: disable=DET002 wall_seconds metric
+    result.wall_seconds = hostclock.now() - start
     if _env_flag("REPRO_VERIFY_SKIP"):
         reference = "naive" if engine != "naive" else "fast"
         # The cross-check run must not clobber the primary run's streamed
         # telemetry (its stream would be bit-identical anyway — that is
         # the point of the check — but rewriting it would confuse a live
-        # `repro watch` tailing the directory).
+        # `repro watch` tailing the directory), and must not register a
+        # second phantom run in the fleet registry.
         saved_stream = os.environ.pop("REPRO_STREAM_DIR", None)
+        saved_fleet = os.environ.pop("REPRO_FLEET_DIR", None)
         try:
             other = make_system().run(
                 max_cycles=max_cycles, engine=reference
@@ -70,6 +73,8 @@ def _run_system(make_system, max_cycles: int) -> SimResult:
         finally:
             if saved_stream is not None:
                 os.environ["REPRO_STREAM_DIR"] = saved_stream
+            if saved_fleet is not None:
+                os.environ["REPRO_FLEET_DIR"] = saved_fleet
         if result_fingerprint(result) != result_fingerprint(other):
             from repro.analysis.detchain import first_divergence
 

@@ -1,0 +1,232 @@
+"""Fleet registry: index many streaming runs under one root directory.
+
+``repro watch DIR`` monitors *one* run's stream.  A sweep
+(``experiment all``, a bench suite, a multi-seed study) launches many
+runs at once, and finding their stream directories by hand defeats the
+point of live observability.  Setting ``REPRO_FLEET_DIR=<root>`` makes
+every run index itself:
+
+* a run that begins streaming (explicit ``REPRO_STREAM_DIR`` or not)
+  registers its stream directory in ``<root>/.registry/<run_id>.json``;
+* runs with no explicit stream directory are *allocated* one under the
+  root (``<root>/<label>-<pid>/``), so ``REPRO_FLEET_DIR`` alone is
+  enough to make a whole sweep observable;
+* ``<root>/INDEX.json`` is a materialized view over the entry files,
+  rebuilt after every registration with the same atomic
+  write-fsync-replace discipline as the stream manifests.
+
+Crash safety mirrors the stream layer: entry files are written
+atomically, the index is a pure derivation of them (a torn or
+half-registered run can at worst be *absent* from one index rebuild,
+never corrupt it), and a SIGKILL'd run leaves its entry plus a
+``running`` manifest — the fleet dashboard shows it as such instead of
+losing it.  Registry state is host-side bookkeeping only: it never
+touches simulated state, the determinism chain, or the engine cache
+key (``REPRO_FLEET_DIR`` is deliberately absent from
+``config_fingerprint``, like ``REPRO_STREAM_DIR``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.telemetry import stream as stream_mod
+from repro.util import hostclock
+
+INDEX_NAME = "INDEX.json"
+REGISTRY_DIRNAME = ".registry"
+
+#: Statuses a fleet run can be in.  The first four come straight from
+#: the run's stream manifest; the rest are registry-side degradations.
+STATUSES = (
+    "running", "complete", "failed", "cache-replay",
+    "starting",  # registered, but no manifest written yet
+    "missing",   # registered, but the stream directory is gone
+    "corrupt",   # manifest exists but does not parse
+)
+
+
+def fleet_root() -> str | None:
+    """Fleet root from ``REPRO_FLEET_DIR`` (None = disabled)."""
+    raw = os.environ.get("REPRO_FLEET_DIR", "")
+    return raw or None
+
+
+def enabled() -> bool:
+    return fleet_root() is not None
+
+
+def is_fleet_root(directory: str | os.PathLike) -> bool:
+    """True when ``directory`` looks like a registry root, not a run."""
+    directory = Path(directory)
+    return (
+        (directory / REGISTRY_DIRNAME).is_dir()
+        or (directory / INDEX_NAME).is_file()
+    )
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe run-directory stem from a run label."""
+    cleaned = [
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in text.strip()
+    ]
+    slug = "".join(cleaned).strip("-.")
+    return slug or "run"
+
+
+class RunRegistry:
+    """Reader/writer for one fleet root's run index.
+
+    Writers only ever (1) create their own run directory, (2) atomically
+    replace their own entry file, and (3) rebuild the shared index from
+    whatever entries exist — so concurrent registrations from a worker
+    pool never clobber each other, and the index is always a parseable
+    snapshot (possibly one registration behind).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.registry_dir = self.root / REGISTRY_DIRNAME
+
+    # -- writer side --------------------------------------------------------
+
+    def allocate(self, label: str | None = None) -> Path:
+        """Create and return a fresh run directory under the root.
+
+        Uniqueness across concurrent processes comes from the exclusive
+        ``mkdir``: the first process to claim a name wins, losers retry
+        with a counter suffix.
+        """
+        stem = f"{_slug(label or 'run')}-{os.getpid()}"
+        self.root.mkdir(parents=True, exist_ok=True)
+        attempt = 0
+        while True:
+            name = stem if attempt == 0 else f"{stem}-{attempt}"
+            path = self.root / name
+            try:
+                path.mkdir(parents=False, exist_ok=False)
+            except FileExistsError:
+                attempt += 1
+                continue
+            return path
+
+    def run_id_for(self, directory: str | os.PathLike) -> str:
+        """Stable registry id for a stream directory.
+
+        Directories under the root use their name; outside directories
+        (an explicit ``REPRO_STREAM_DIR`` elsewhere) get a path-hash
+        suffix so two same-named runs cannot collide.
+        """
+        directory = Path(directory)
+        resolved = directory.resolve()
+        if resolved.parent == self.root.resolve():
+            return resolved.name
+        digest = hashlib.sha256(str(resolved).encode()).hexdigest()[:8]
+        return f"{_slug(resolved.name)}-{digest}"
+
+    def register(
+        self, directory: str | os.PathLike, label: str | None = None
+    ) -> str:
+        """Record a run's stream directory; returns its registry id."""
+        directory = Path(directory)
+        run_id = self.run_id_for(directory)
+        entry = {
+            "version": 1,
+            "run_id": run_id,
+            "dir": str(directory.resolve()),
+            "label": label,
+            "pid": os.getpid(),
+            "registered_unix": hostclock.walltime(),
+        }
+        self.registry_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.registry_dir / f".{run_id}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.registry_dir / f"{run_id}.json")
+        self.rebuild_index()
+        return run_id
+
+    def rebuild_index(self) -> None:
+        """Rematerialize ``INDEX.json`` from the entry files (atomic)."""
+        index = {
+            "version": 1,
+            "root": str(self.root.resolve()),
+            "runs": self.entries(),
+        }
+        tmp = self.root / f".index.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(index, sort_keys=True, indent=1) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.root / INDEX_NAME)
+
+    # -- reader side --------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Registered runs, oldest first.  The entry files are the truth
+        (``INDEX.json`` is only a convenience view); unreadable entries
+        are skipped, never fatal."""
+        out = []
+        if not self.registry_dir.is_dir():
+            return out
+        for path in sorted(self.registry_dir.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text())
+            # a concurrent writer's not-yet-replaced tmp or a torn disk
+            # must degrade to "entry missing", not break every reader
+            # repro-lint: disable=EXC002 tolerant registry read
+            except (OSError, ValueError):
+                continue
+            if isinstance(entry, dict) and entry.get("run_id"):
+                out.append(entry)
+        out.sort(key=lambda e: (e.get("registered_unix", 0.0), e["run_id"]))
+        return out
+
+    def runs(self) -> list[dict]:
+        """Entries joined with each run's *live* stream-manifest state.
+
+        Every returned dict has ``run_id``, ``dir``, ``label``, and
+        ``status`` (one of :data:`STATUSES`); runs with a readable
+        manifest also carry ``manifest`` for drill-down rendering.
+        """
+        out = []
+        for entry in self.entries():
+            info = dict(entry)
+            directory = Path(entry.get("dir", ""))
+            manifest = None
+            if not directory.is_dir():
+                info["status"] = "missing"
+            else:
+                try:
+                    manifest = stream_mod.read_manifest(
+                        directory, missing_ok=True
+                    )
+                except stream_mod.StreamError:
+                    info["status"] = "corrupt"
+                else:
+                    if manifest is None:
+                        info["status"] = "starting"
+                    else:
+                        info["status"] = manifest.get("status", "?")
+                        info["label"] = (
+                            manifest.get("label") or info.get("label")
+                        )
+            info["manifest"] = manifest
+            out.append(info)
+        return out
+
+    def find(self, key: str) -> dict | None:
+        """Look a run up by registry id (exact) or label (exact)."""
+        entries = self.entries()
+        for entry in entries:
+            if entry.get("run_id") == key:
+                return entry
+        for entry in entries:
+            if entry.get("label") == key:
+                return entry
+        return None

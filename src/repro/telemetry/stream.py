@@ -152,7 +152,17 @@ class StreamWriter:
     @classmethod
     def from_env(cls) -> "StreamWriter | None":
         directory = stream_dir()
-        return cls(directory) if directory else None
+        if directory:
+            return cls(directory)
+        # No explicit stream directory, but a fleet root
+        # (REPRO_FLEET_DIR): allocate a run directory under it so every
+        # run of a sweep streams — and registers — automatically.
+        from repro.telemetry import fleet
+
+        root = fleet.fleet_root()
+        if root:
+            return cls(fleet.RunRegistry(root).allocate())
+        return None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -164,6 +174,14 @@ class StreamWriter:
         for stale in self._stream_files():
             stale.unlink()
         self._write_manifest()
+        # Fleet registration (REPRO_FLEET_DIR): index this stream in the
+        # run registry so `repro watch <root>` can find it.  Imported
+        # lazily — fleet depends on this module for manifest reading.
+        from repro.telemetry import fleet
+
+        root = fleet.fleet_root()
+        if root:
+            fleet.RunRegistry(root).register(self.directory, label)
 
     def _stream_files(self):
         for kind in KINDS:
@@ -380,8 +398,17 @@ def _sealed_names(manifest: dict, kind: str) -> list[str]:
 
 
 def segment_paths(directory: str | os.PathLike, kind: str) -> list[Path]:
-    """All on-disk segment files of ``kind``, in stream order."""
-    return sorted(Path(directory).glob(f"{kind}-*.jsonl"))
+    """All on-disk segment files of ``kind``, in stream order.
+
+    A directory that does not exist (yet) simply has no segments —
+    ``Path.glob`` would raise ``FileNotFoundError`` on some Python
+    versions, which turned ``repro watch <not-yet-created-dir>`` into a
+    traceback instead of a "waiting…" placeholder.
+    """
+    try:
+        return sorted(Path(directory).glob(f"{kind}-*.jsonl"))
+    except OSError:
+        return []
 
 
 def iter_records(

@@ -1,0 +1,1 @@
+"""Host-side utilities shared across the simulator's observability layers."""

@@ -1,0 +1,327 @@
+"""Fleet registry (``REPRO_FLEET_DIR``): indexing, dashboards, crash safety.
+
+Mirrors the stream-layer crash discipline one level up: entry files and
+``INDEX.json`` are written atomically, a SIGKILL'd run stays visible
+(entry + ``running`` manifest), and every reader — ``repro watch`` in
+fleet or single-run mode, ``trace --from-stream`` — degrades to a clear
+one-line message instead of a traceback when pointed at something
+missing, mid-write, or corrupt.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import fleet, monitor
+from repro.telemetry import stream as stream_mod
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _cli_env(fleet_dir=None, **extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_STREAM_DIR", None)
+    env.pop("REPRO_FLEET_DIR", None)
+    if fleet_dir is not None:
+        env.update({
+            "REPRO_FLEET_DIR": str(fleet_dir),
+            "REPRO_STREAM_SEGMENT": "64",
+            "REPRO_SAMPLE_EVERY": "64",
+            "REPRO_NO_CACHE": "1",
+        })
+    env.update(extra)
+    return env
+
+
+class TestRegistry:
+    def test_allocate_creates_unique_dirs(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        first = registry.allocate("fft/fr-fcfs")
+        second = registry.allocate("fft/fr-fcfs")
+        assert first != second
+        assert first.is_dir() and second.is_dir()
+        assert first.parent == tmp_path
+
+    def test_allocate_slugs_hostile_labels(self, tmp_path):
+        path = fleet.RunRegistry(tmp_path).allocate("a/b c:d")
+        assert path.parent == tmp_path
+        assert "/" not in path.name[1:]
+
+    def test_register_and_entries(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        run_dir = registry.allocate("radix")
+        run_id = registry.register(run_dir, "radix/par-bs")
+        assert run_id == run_dir.name
+        (entry,) = registry.entries()
+        assert entry["run_id"] == run_id
+        assert entry["label"] == "radix/par-bs"
+        assert Path(entry["dir"]) == run_dir.resolve()
+
+    def test_register_outside_root_gets_hash_suffix(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path / "root")
+        elsewhere = tmp_path / "elsewhere" / "run"
+        elsewhere.mkdir(parents=True)
+        run_id = registry.register(elsewhere, "external")
+        assert run_id.startswith("run-")
+        assert run_id != "run"  # hash suffix present
+
+    def test_index_is_a_parseable_view(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        registry.register(registry.allocate("a"), "a")
+        registry.register(registry.allocate("b"), "b")
+        index = json.loads((tmp_path / fleet.INDEX_NAME).read_text())
+        assert index["version"] == 1
+        assert len(index["runs"]) == 2
+        assert fleet.is_fleet_root(tmp_path)
+
+    def test_torn_entry_is_skipped_not_fatal(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        registry.register(registry.allocate("good"), "good")
+        (registry.registry_dir / "torn.json").write_text('{"run_id": "t')
+        assert [e["label"] for e in registry.entries()] == ["good"]
+
+    def test_runs_join_manifest_status(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        bare = registry.allocate("bare")  # no manifest yet
+        registry.register(bare, "bare")
+        done = registry.allocate("done")
+        registry.register(done, "done")
+        writer = stream_mod.StreamWriter(done, segment_cap=4,
+                                         flush_cycles=1 << 40)
+        writer.begin("done", [])
+        writer.finalize(cycles=123)
+        gone = registry.allocate("gone")
+        registry.register(gone, "gone")
+        gone.rmdir()
+        by_label = {r["label"]: r["status"] for r in registry.runs()}
+        assert by_label == {
+            "bare": "starting", "done": "complete", "gone": "missing",
+        }
+
+    def test_find_by_id_and_label(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        run_dir = registry.allocate("fft")
+        run_id = registry.register(run_dir, "fft/fr-fcfs")
+        assert registry.find(run_id)["run_id"] == run_id
+        assert registry.find("fft/fr-fcfs")["run_id"] == run_id
+        assert registry.find("nope") is None
+
+
+class TestAutoRegistration:
+    def test_runs_register_themselves(self, tmp_path, monkeypatch):
+        from repro.config import TINY_SCALE
+        from repro.sim.runner import run_parallel_workload
+
+        monkeypatch.delenv("REPRO_STREAM_DIR", raising=False)
+        monkeypatch.setenv("REPRO_FLEET_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SAMPLE_EVERY", "256")
+        run_parallel_workload("fft", scale=TINY_SCALE)
+        run_parallel_workload("radix", scheduler="par-bs", scale=TINY_SCALE)
+        runs = fleet.RunRegistry(tmp_path).runs()
+        assert len(runs) == 2
+        assert {r["label"] for r in runs} == {"fft/fr-fcfs", "radix/par-bs"}
+        assert all(r["status"] == "complete" for r in runs)
+
+    def test_explicit_stream_dir_still_registers(self, tmp_path,
+                                                 monkeypatch):
+        from repro.config import TINY_SCALE
+        from repro.sim.runner import run_parallel_workload
+
+        stream_dir = tmp_path / "elsewhere"
+        monkeypatch.setenv("REPRO_FLEET_DIR", str(tmp_path / "root"))
+        monkeypatch.setenv("REPRO_STREAM_DIR", str(stream_dir))
+        run_parallel_workload("fft", scale=TINY_SCALE)
+        (run,) = fleet.RunRegistry(tmp_path / "root").runs()
+        assert Path(run["dir"]) == stream_dir.resolve()
+        assert run["status"] == "complete"
+
+    def test_verify_skip_registers_exactly_one_run(self, tmp_path,
+                                                   monkeypatch):
+        from repro.config import TINY_SCALE
+        from repro.sim.runner import run_parallel_workload
+
+        monkeypatch.delenv("REPRO_STREAM_DIR", raising=False)
+        monkeypatch.setenv("REPRO_FLEET_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_VERIFY_SKIP", "1")
+        run_parallel_workload("fft", scale=TINY_SCALE)
+        assert os.environ["REPRO_FLEET_DIR"] == str(tmp_path)
+        assert len(fleet.RunRegistry(tmp_path).entries()) == 1
+
+
+class TestFleetDashboard:
+    @pytest.fixture
+    def populated_root(self, tmp_path, monkeypatch):
+        from repro.config import TINY_SCALE
+        from repro.sim.runner import run_parallel_workload
+
+        monkeypatch.delenv("REPRO_STREAM_DIR", raising=False)
+        monkeypatch.setenv("REPRO_FLEET_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SAMPLE_EVERY", "128")
+        run_parallel_workload("fft", scale=TINY_SCALE)
+        run_parallel_workload("radix", scheduler="par-bs", scale=TINY_SCALE)
+        return tmp_path
+
+    def test_fleet_table_lists_every_run(self, populated_root):
+        out = io.StringIO()
+        assert monitor.watch(populated_root, once=True, out=out) == 0
+        text = out.getvalue()
+        assert "2 run(s)" in text
+        assert "fft/fr-fcfs" in text
+        assert "radix/par-bs" in text
+        assert "complete" in text
+        assert "IPC" in text
+
+    def test_drill_down_renders_single_run_dashboard(self, populated_root):
+        run_id = fleet.RunRegistry(populated_root).entries()[0]["run_id"]
+        out = io.StringIO()
+        assert monitor.watch(populated_root, once=True, out=out,
+                             run=run_id) == 0
+        text = out.getvalue()
+        assert "[complete]" in text  # the single-run dashboard header
+        assert "run(s)" not in text
+
+    def test_drill_down_by_label(self, populated_root):
+        out = io.StringIO()
+        assert monitor.watch(populated_root, once=True, out=out,
+                             run="radix/par-bs") == 0
+        assert "radix/par-bs" in out.getvalue()
+
+    def test_unknown_run_is_one_line_error(self, populated_root):
+        out = io.StringIO()
+        assert monitor.watch(populated_root, once=True, out=out,
+                             run="nope") == 1
+        text = out.getvalue()
+        assert text.startswith("error:")
+        assert "known runs" in text
+
+    def test_empty_root_renders_placeholder(self, tmp_path):
+        (tmp_path / fleet.REGISTRY_DIRNAME).mkdir()
+        out = io.StringIO()
+        assert monitor.watch(tmp_path, once=True, out=out) == 0
+        assert "no runs registered" in out.getvalue()
+
+
+class TestCrashSafety:
+    """SIGKILL a fleet-registered run; everything stays readable."""
+
+    _CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.config import SimScale
+from repro.sim.runner import run_parallel_workload
+
+scale = SimScale(instructions_per_core=2_000_000, warmup_instructions=0,
+                 seed=11)
+run_parallel_workload("fft", scale=scale)
+"""
+
+    @pytest.fixture(scope="class")
+    def killed_root(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("fleet-killed")
+        child = subprocess.Popen(
+            [sys.executable, "-c", self._CHILD.format(src=_SRC)],
+            env=_cli_env(root),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                entries = fleet.RunRegistry(root).entries()
+                if entries:
+                    manifest = stream_mod.read_manifest(
+                        entries[0]["dir"], missing_ok=True
+                    )
+                    if manifest and manifest["samples"]["segments"]:
+                        break
+                if child.poll() is not None:
+                    raise RuntimeError("fleet child exited prematurely")
+                time.sleep(0.05)
+            else:
+                raise RuntimeError("no registered sealed run in time")
+        finally:
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        return root
+
+    def test_index_and_entry_survive(self, killed_root):
+        index = json.loads((killed_root / fleet.INDEX_NAME).read_text())
+        assert len(index["runs"]) == 1
+        (entry,) = fleet.RunRegistry(killed_root).entries()
+        assert entry["label"] == "fft/fr-fcfs"
+
+    def test_killed_run_reports_running(self, killed_root):
+        (run,) = fleet.RunRegistry(killed_root).runs()
+        assert run["status"] == "running"
+
+    def test_dashboard_renders_degraded_not_traceback(self, killed_root):
+        out = io.StringIO()
+        assert monitor.watch(killed_root, once=True, out=out) == 0
+        text = out.getvalue()
+        assert "running" in text
+        assert "Traceback" not in text
+
+
+class TestReaderBugfixes:
+    """watch/trace on missing or broken inputs: one clear line, never a
+    traceback (Path.glob on a missing directory used to raise)."""
+
+    def _watch_cli(self, directory, *extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "watch", str(directory),
+             "--once", *extra],
+            env=_cli_env(), capture_output=True, text=True, timeout=60,
+        )
+
+    def test_watch_missing_dir_prints_placeholder(self, tmp_path):
+        proc = self._watch_cli(tmp_path / "never-created")
+        assert proc.returncode == 0
+        assert "waiting for a stream manifest" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_watch_corrupt_manifest_is_one_line_error(self, tmp_path):
+        (tmp_path / stream_mod.MANIFEST_NAME).write_text('{"status": ')
+        proc = self._watch_cli(tmp_path)
+        assert proc.returncode == 1
+        assert "error:" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_watch_dir_without_manifest_waits(self, tmp_path):
+        out = io.StringIO()
+        assert monitor.watch(tmp_path, once=True, out=out) == 0
+        assert "waiting for a stream manifest" in out.getvalue()
+
+    def test_trace_from_stream_on_fleet_root_lists_runs(self, tmp_path):
+        registry = fleet.RunRegistry(tmp_path)
+        registry.register(registry.allocate("fft"), "fft/fr-fcfs")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace",
+             "--from-stream", str(tmp_path), "--out", "/dev/null"],
+            env=_cli_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 1
+        assert "fleet registry root" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_trace_from_stream_on_empty_fleet_root(self, tmp_path):
+        (tmp_path / fleet.REGISTRY_DIRNAME).mkdir()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace",
+             "--from-stream", str(tmp_path), "--out", "/dev/null"],
+            env=_cli_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 1
+        assert "none registered yet" in proc.stderr
+        assert "Traceback" not in proc.stderr

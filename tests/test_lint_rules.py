@@ -92,6 +92,24 @@ class TestWallClock:
     def test_from_import(self):
         assert "DET002" in rules_hit("from time import monotonic\n")
 
+    def test_hostclock_module_is_the_sanctioned_exception(self):
+        """repro/util/hostclock.py is the single allowlisted module: its
+        raw clock reads lint clean, while byte-identical code anywhere
+        else (lint_source uses a synthetic path) still fires DET002."""
+        hostclock = REPO / "src" / "repro" / "util" / "hostclock.py"
+        report = lint_paths([hostclock])
+        assert not report.errors
+        assert "DET002" not in {f.rule for f in report.findings}
+        assert "DET002" in rules_hit(hostclock.read_text())
+
+    def test_raw_perf_counter_outside_hostclock_still_fires(self):
+        assert "DET002" in rules_hit("""
+            import time
+
+            def wall():
+                return time.perf_counter()
+        """)
+
     def test_sleepless_code_is_clean(self):
         assert "DET002" not in rules_hit("""
             def advance(now, step):
