@@ -152,6 +152,8 @@ def _cmd_analyze(args) -> int:
         argv.append("--list-rules")
     if args.select:
         argv += ["--select", args.select]
+    if args.concurrency:
+        argv.append("--concurrency")
     if args.show_suppressed:
         argv.append("--show-suppressed")
     if args.batchability:
@@ -396,12 +398,15 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="run the whole-program semantic analyzer (cycle domains, "
              "det-state coverage, scheduler contracts, effect/purity "
-             "certificates)",
+             "certificates, process-safety contracts)",
     )
     analyze_p.add_argument("paths", nargs="*",
                            help="files or directories (default: src/repro)")
     analyze_p.add_argument("--select", default=None, metavar="IDS",
                            help="comma-separated rule ids to run")
+    analyze_p.add_argument("--concurrency", action="store_true",
+                           help="run only the process-safety rules "
+                                "(CONC001–CONC005)")
     analyze_p.add_argument("--list-rules", action="store_true")
     analyze_p.add_argument("--show-suppressed", action="store_true")
     analyze_p.add_argument("--batchability", default=None, metavar="PATH",

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.analysis.lint import Finding, iter_python_files
+from repro.util import atomicio
 from repro.analysis.semantic.driver import AnalysisReport, analyze_graph
 from repro.analysis.semantic.modgraph import ModuleGraph
 
@@ -223,9 +224,7 @@ def analyze_paths_cached(
                 "findings": _serialize(mine),
                 "suppressed": _serialize(sup),
             }
-            _entry_path(cache, shard).write_text(
-                json.dumps(entry, indent=1, sort_keys=True) + "\n"
-            )
+            atomicio.write_json(_entry_path(cache, shard), entry)
             fresh[shard] = entry
 
     report = AnalysisReport(files=len(files) - len(parse_errors))

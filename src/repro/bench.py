@@ -38,7 +38,7 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.util import hostclock
+from repro.util import atomicio, hostclock
 
 SCHEMA_VERSION = 1
 
@@ -236,13 +236,8 @@ def next_record_path(directory: str | os.PathLike = ".") -> Path:
 
 
 def save_record(record: dict, path: str | os.PathLike) -> None:
-    """Write a bench record atomically (tmp + replace)."""
-    path = Path(path)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    with open(tmp, "w") as fh:
-        json.dump(record, fh, sort_keys=True, indent=1)
-        fh.write("\n")
-    os.replace(tmp, path)
+    """Write a bench record atomically (tmp + fsync + replace)."""
+    atomicio.write_json(path, record)
 
 
 def load_record(path: str | os.PathLike) -> dict:

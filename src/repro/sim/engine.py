@@ -43,6 +43,7 @@ from pathlib import Path
 from repro.config import DEFAULT_SCALE, SimScale, SystemConfig
 from repro.sim.stats import SimResult
 from repro.telemetry import config_fingerprint as _telemetry_fingerprint
+from repro.util import atomicio
 
 #: Per-run observability records (append-only): dicts with label, key,
 #: source ("run" | "disk"), wall_s, cycles, and cycles_per_sec.  Clear
@@ -195,12 +196,16 @@ def load_cached(key: str) -> SimResult | None:
 
 
 def store_cached(key: str, result: SimResult) -> None:
+    """Publish one result into the shared cache slot for ``key``.
+
+    Concurrent sweeps (and ``run_many`` pools) race the same content
+    hash; the atomic replace means the slot always holds one complete
+    pickle — and since the payload is a pure function of the key, the
+    bytes are identical whichever writer wins.
+    """
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    payload = _pickle_result(result)
-    tmp = directory / f".{key}.{os.getpid()}.tmp"
-    tmp.write_bytes(payload)
-    os.replace(tmp, cache_path(key))
+    atomicio.write_bytes(cache_path(key), _pickle_result(result))
 
 
 def clear_disk_cache() -> int:
@@ -531,13 +536,18 @@ def _record(spec: RunSpec, key: str | None, result: SimResult, source: str):
 
 
 def _write_run_log(metrics) -> None:
+    """Append per-run metrics to the shared ``REPRO_RUN_LOG`` JSONL file.
+
+    Every worker of a concurrent sweep appends to the same log, so each
+    record must land as a single ``O_APPEND`` write — a buffered
+    append-mode file handle can flush mid-record and interleave partial
+    lines with another process's writes.
+    """
     path = os.environ.get("REPRO_RUN_LOG")
     if not path or not metrics:
         return
     try:
-        with open(path, "a") as fh:
-            for metric in metrics:
-                fh.write(json.dumps(metric) + "\n")
+        atomicio.append_jsonl(path, metrics)
     # an unwritable metrics log must never fail the simulation it records
     # repro-lint: disable=EXC002 observability only
     except OSError:

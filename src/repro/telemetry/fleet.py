@@ -34,7 +34,7 @@ import os
 from pathlib import Path
 
 from repro.telemetry import stream as stream_mod
-from repro.util import hostclock
+from repro.util import atomicio, hostclock
 
 INDEX_NAME = "INDEX.json"
 REGISTRY_DIRNAME = ".registry"
@@ -142,28 +142,23 @@ class RunRegistry:
             "registered_unix": hostclock.walltime(),
         }
         self.registry_dir.mkdir(parents=True, exist_ok=True)
-        tmp = self.registry_dir / f".{run_id}.{os.getpid()}.tmp"
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(entry, sort_keys=True, indent=1) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.registry_dir / f"{run_id}.json")
+        atomicio.write_json(self.registry_dir / f"{run_id}.json", entry)
         self.rebuild_index()
         return run_id
 
     def rebuild_index(self) -> None:
-        """Rematerialize ``INDEX.json`` from the entry files (atomic)."""
+        """Rematerialize ``INDEX.json`` from the entry files (atomic).
+
+        Concurrent registrations each rebuild from whatever entries
+        exist at that instant; the atomic replace means a reader always
+        parses a complete snapshot, at worst one registration behind.
+        """
         index = {
             "version": 1,
             "root": str(self.root.resolve()),
             "runs": self.entries(),
         }
-        tmp = self.root / f".index.{os.getpid()}.tmp"
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(index, sort_keys=True, indent=1) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.root / INDEX_NAME)
+        atomicio.write_json(self.root / INDEX_NAME, index)
 
     # -- reader side --------------------------------------------------------
 

@@ -47,6 +47,7 @@ import os
 from pathlib import Path
 
 from repro.telemetry import trace as trace_mod
+from repro.util import atomicio
 
 MANIFEST_NAME = "MANIFEST.json"
 
@@ -332,13 +333,7 @@ class StreamWriter:
 
 def write_manifest(directory: str | os.PathLike, manifest: dict) -> None:
     """Atomically replace ``MANIFEST.json`` (write, fsync, rename)."""
-    directory = Path(directory)
-    tmp = directory / f".manifest.{os.getpid()}.tmp"
-    with open(tmp, "w") as fh:
-        fh.write(json.dumps(manifest, sort_keys=True, indent=1) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, directory / MANIFEST_NAME)
+    atomicio.write_json(Path(directory) / MANIFEST_NAME, manifest)
 
 
 def write_cache_replay_manifest(directory: str | os.PathLike,

@@ -1,0 +1,12 @@
+"""Seeded hazard fixtures for the process-safety analyzer (CONC rules).
+
+One module per CONC rule, each containing the minimal code that must
+trigger it plus (in ``clean.py``) the legal counter-example that must
+NOT.  ``python -m repro analyze --concurrency tests/fixtures/conc_hazards``
+exits nonzero with every CONC rule represented, proving the analyzer
+detects each hazard class — the process-safety counterpart of
+``tests/fixtures/semantic_hazards``.
+
+The files are never imported (the analyzer is purely syntactic); they
+only need to parse.  Do NOT "fix" these; they are the test vectors.
+"""

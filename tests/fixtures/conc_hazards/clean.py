@@ -1,0 +1,55 @@
+"""Legal counter-examples: none of these may produce a finding.
+
+Each mirrors one hazard module with the sanctioned version of the same
+pattern — explicit state through the spec, module-level entrypoints,
+seeds instead of generators, sorted tuples instead of sets, config
+snapshotted before the fork — so the analyzer's precision is pinned
+alongside its recall.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+#: Read-only module constant: workers may *read* fork-copied state
+#: freely; only writes are a hazard (CONC001 counter-example).
+_DEFAULTS = {"scale": 1}
+
+
+@dataclass
+class CleanSpec:
+    """Pickle-safe spec: plain data, ordered containers, a seed instead
+    of a generator, env snapshotted by the parent (CONC004/005
+    counter-example)."""
+
+    workload: str
+    seed: int = 1
+    flags: tuple = ()
+    env_scale: int = 1
+
+
+def simulate(spec):
+    # Sanctioned RNG pattern: construct from the injected seed inside
+    # the worker; nothing live crossed the fork (CONC002
+    # counter-example).
+    rng = random.Random(spec.seed)
+    scale = spec.env_scale or _DEFAULTS["scale"]
+    totals = {}
+    # Locals named like module globals stay locals: precision check.
+    totals[spec.workload] = rng.random() * scale
+    return totals
+
+
+def sweep(specs):
+    # Module-level entrypoint, plain-data payload (CONC002
+    # counter-example).
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate, specs))
+
+
+def export_report(path, text):
+    # A write-mode open of a private, unshared artifact is legal:
+    # CONC003 polices shared artifacts, not every file (precision
+    # check for the token matcher).
+    with open(path, "w") as fh:
+        fh.write(text)

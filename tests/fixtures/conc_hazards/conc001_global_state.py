@@ -1,0 +1,31 @@
+"""CONC001: module-global mutable state written by worker-reachable code.
+
+``tally`` runs inside forked pool workers, but it accumulates into a
+module-level dict and list.  Each worker mutates its own copy-on-write
+page; the parent's ``_TOTALS`` never changes, so the sweep silently
+reports nothing — the classic fork-shared-state bug the rule exists to
+catch.  The indirection through ``_bump`` proves detection is
+reachability-based, not a lexical scan of the entrypoint alone.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_TOTALS: dict = {}
+_SEEN: list = []
+
+
+def _bump(name, amount):
+    # CONC001: writes a module global from worker-reachable code.
+    _TOTALS[name] = _TOTALS.get(name, 0) + amount
+    _SEEN.append(name)
+
+
+def tally(item):
+    name, amount = item
+    _bump(name, amount)
+    return name
+
+
+def sweep(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(tally, items))

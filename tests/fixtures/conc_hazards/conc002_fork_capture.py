@@ -1,0 +1,34 @@
+"""CONC002: fork-captured resources crossing the pool boundary.
+
+Four distinct captures, each a real production failure mode: a lambda
+(unpicklable), a bound method (drags the whole instance through
+pickle), an open file handle (duplicated descriptor, interleaved
+writes), and a live RNG object (every worker inherits the same stream
+state, so "independent" draws collide).
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def simulate(seed):
+    return seed * 2
+
+
+class Sweeper:
+    def work(self, item):
+        return item
+
+    def run(self, items):
+        rng = random.Random(42)
+        log = open("sweep.log", "w")
+        with ProcessPoolExecutor() as pool:
+            # CONC002: lambda across the fork/pickle boundary.
+            pool.submit(lambda item: item + 1, items[0])
+            # CONC002: bound method captures the whole instance.
+            pool.submit(self.work, items[0])
+            # CONC002: live RNG object shipped to the worker.
+            pool.submit(simulate, rng)
+            # CONC002: open file handle shipped to the worker.
+            pool.submit(simulate, log)
+        log.close()

@@ -1,0 +1,31 @@
+"""CONC003: non-atomic writes to shared on-disk artifacts.
+
+Three violations: a hand-rolled tmp+replace (the idiom must live only
+in ``repro.util.atomicio``), a direct write-mode open of a manifest,
+and a buffered append to a shared run log (concurrent appenders can
+interleave partial lines).
+"""
+
+import json
+import os
+
+
+def save_entry(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    # CONC003: raw os.replace outside repro.util.atomicio.
+    os.replace(tmp, path)
+
+
+def write_manifest(directory, manifest):
+    # CONC003: write-mode open of a shared manifest, not atomic.
+    with open(directory + "/MANIFEST.json", "w") as fh:
+        json.dump(manifest, fh)
+
+
+def log_metrics(run_log_path, records):
+    # CONC003: buffered append to a shared log tears under concurrency.
+    with open(run_log_path, "a") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")

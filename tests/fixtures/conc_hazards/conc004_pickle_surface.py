@@ -1,0 +1,37 @@
+"""CONC004: order-nondeterministic or unpicklable pool payloads.
+
+``RunSpec``/``SimResult`` cross the pool's pickle boundary by name, so
+the audit walks their transitive type surface: a raw ``set`` pickles in
+process-dependent iteration order (two bit-identical runs produce
+different cache bytes), and lambdas/bound methods fail to pickle at
+all.  ``TagBag`` is reached through the annotation on ``RunSpec.tags``,
+proving the walk is transitive.
+"""
+
+from dataclasses import dataclass, field
+
+
+class TagBag:
+    def __init__(self, names):
+        # CONC004: raw set payload inside a type reachable from RunSpec.
+        self.names = set(names)
+
+
+@dataclass
+class RunSpec:
+    workload: str
+    # CONC004: raw set field pickles in process-dependent order.
+    flags: set[str] = field(default_factory=set)
+    tags: TagBag | None = None
+
+
+class SimResult:
+    def __init__(self, label):
+        self.label = label
+        # CONC004: lambda cannot cross the pickle boundary.
+        self.reduce = lambda xs: sum(xs)
+        # CONC004: bound method drags the whole instance along.
+        self.finisher = self.finish
+
+    def finish(self):
+        return self.label

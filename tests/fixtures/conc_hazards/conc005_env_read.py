@@ -1,0 +1,25 @@
+"""CONC005: post-fork ``os.environ`` reads in worker-reachable code.
+
+The parent hashes its view of the environment into the cache key; a
+worker that re-reads ``os.environ`` after the fork can observe a
+different value (a test mutated it, a wrapper exported a new knob) and
+silently simulate a machine the key does not describe.  Config must be
+snapshotted before the fork and passed through the spec.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def configured_scale(spec):
+    # CONC005: raw post-fork env read outside a sanctioned accessor.
+    return int(os.environ.get("HAZARD_SCALE", "1")) * spec
+
+
+def run_spec(spec):
+    return configured_scale(spec)
+
+
+def sweep(specs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_spec, specs))

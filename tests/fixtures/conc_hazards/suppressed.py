@@ -1,0 +1,12 @@
+"""A correctly suppressed CONC finding: counted, not reported."""
+
+import os
+
+
+def publish(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    # The violation is real but acknowledged with a rationale; the
+    # analyzer must count it as suppressed, not as a finding.
+    os.replace(tmp, path)  # repro-lint: disable=CONC003 fixture example

@@ -1,0 +1,557 @@
+"""Process-safety analyzer: CONC rules, fixtures, and the repo contract.
+
+Mirrors ``test_semantic_analyzer.py``'s three layers for the
+concurrency pass:
+
+* unit tests of the pass-specific machinery on inline sources —
+  reachability through helpers, shadow-safe global-write detection,
+  classmethod-prefix resolution, the pickle-hook escape hatch;
+* the seeded-fixture contract — every CONC rule fires on its module in
+  ``tests/fixtures/conc_hazards/`` and stays silent on the clean
+  counter-examples, with a suppression counted rather than reported;
+* the repo contract — ``src/repro`` passes ``analyze --concurrency``
+  clean at HEAD, and every allowlist entry in the pass is load-bearing
+  (emptying an allowlist must surface findings, proving the entries
+  are suppressing something real rather than rotting).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.semantic import (
+    CONCURRENCY_RULES,
+    SEMANTIC_RULES,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.semantic import concurrency as conc_mod
+from repro.analysis.suppress import known_rule_ids
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+FIXTURES = REPO / "tests" / "fixtures" / "conc_hazards"
+
+
+def rules_by_file(report):
+    out: dict[str, set[str]] = {}
+    for f in report.findings:
+        out.setdefault(Path(f.path).name, set()).add(f.rule)
+    return out
+
+
+def conc_findings(source: str, path: str = "mod.py"):
+    report = analyze_source(source, path=path, select=set(CONCURRENCY_RULES))
+    return report.findings
+
+
+POOL_PREAMBLE = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+# ----------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_conc_rules_are_registered(self):
+        assert CONCURRENCY_RULES == {
+            "CONC001",
+            "CONC002",
+            "CONC003",
+            "CONC004",
+            "CONC005",
+        }
+        assert CONCURRENCY_RULES <= set(SEMANTIC_RULES)
+
+    def test_suppression_grammar_knows_conc_rules(self):
+        # suppress.known_rule_ids() aggregates SEMANTIC_RULES, so
+        # `# repro-lint: disable=CONC003 ...` is a valid suppression.
+        assert CONCURRENCY_RULES <= known_rule_ids()
+
+
+# ----------------------------------------------------------- fixture contract
+
+
+class TestHazardFixtures:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES])
+
+    def test_every_conc_rule_fires(self, report):
+        fired = {f.rule for f in report.findings}
+        assert fired == set(CONCURRENCY_RULES)
+
+    def test_rule_by_rule_file_mapping(self, report):
+        by_file = rules_by_file(report)
+        assert by_file["conc001_global_state.py"] == {"CONC001"}
+        assert by_file["conc002_fork_capture.py"] == {"CONC002"}
+        assert by_file["conc003_torn_write.py"] == {"CONC003"}
+        assert by_file["conc004_pickle_surface.py"] == {"CONC004"}
+        assert by_file["conc005_env_read.py"] == {"CONC005"}
+
+    def test_conc001_catches_both_globals_via_helper(self, report):
+        msgs = [
+            f.message
+            for f in report.findings
+            if f.rule == "CONC001"
+        ]
+        # Reachability-based: the writes live in `_bump`, two hops from
+        # the pool.map entrypoint.
+        assert any("_TOTALS" in m for m in msgs)
+        assert any("_SEEN" in m for m in msgs)
+
+    def test_conc002_catches_all_four_capture_kinds(self, report):
+        msgs = " | ".join(
+            f.message for f in report.findings if f.rule == "CONC002"
+        ).lower()
+        assert "lambda" in msgs
+        assert "bound method" in msgs
+        assert "rng" in msgs or "random" in msgs
+        assert "handle" in msgs or "open" in msgs
+        assert sum(f.rule == "CONC002" for f in report.findings) == 4
+
+    def test_conc003_catches_all_three_write_shapes(self, report):
+        lines = sorted(
+            f.line for f in report.findings if f.rule == "CONC003"
+        )
+        # raw os.replace, write-mode manifest open, buffered log append
+        assert len(lines) == 3
+
+    def test_conc004_walk_is_transitive(self, report):
+        # TagBag is only reachable through the annotation on
+        # RunSpec.tags; its raw-set write must still be flagged.
+        tagbag = [
+            f
+            for f in report.findings
+            if f.rule == "CONC004" and "TagBag" in f.message
+        ]
+        assert tagbag
+
+    def test_clean_counter_examples_stay_clean(self, report):
+        flagged = {Path(f.path).name for f in report.findings}
+        assert "clean.py" not in flagged
+        assert "__init__.py" not in flagged
+        assert "suppressed.py" not in flagged
+
+    def test_suppressed_finding_is_counted_not_reported(self, report):
+        sup = [
+            f
+            for f in report.suppressed
+            if Path(f.path).name == "suppressed.py"
+        ]
+        assert [f.rule for f in sup] == ["CONC003"]
+
+
+# ------------------------------------------------------------ CONC001 units
+
+
+class TestGlobalWriteDetection:
+    def test_subscript_write_to_global_is_not_shadowed(self):
+        # `_CACHE[k] = v` must count as a write to the module global
+        # _CACHE, not as a local binding of the name _CACHE.
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                _CACHE = {}
+
+                def work(k):
+                    _CACHE[k] = 1
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC001"]
+
+    def test_local_named_like_global_is_silent(self):
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                _CACHE = {}
+
+                def work(k):
+                    _CACHE = {}
+                    _CACHE[k] = 1
+                    return _CACHE
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert findings == []
+
+    def test_parent_only_writer_is_silent(self):
+        # The same global written by code the pool never reaches is
+        # legal: the hazard is fork-shared state, not globals per se.
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                _CACHE = {}
+
+                def work(k):
+                    return k
+
+                def parent_memo(k):
+                    _CACHE[k] = 1
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert findings == []
+
+    def test_fork_local_allowlist_is_honoured(self, monkeypatch):
+        src = POOL_PREAMBLE + textwrap.dedent(
+            """
+            _MEMO = {}
+
+            def work(k):
+                _MEMO[k] = 1
+
+            def sweep(items):
+                with ProcessPoolExecutor() as pool:
+                    pool.map(work, items)
+            """
+        )
+        assert [f.rule for f in conc_findings(src)] == ["CONC001"]
+        monkeypatch.setitem(
+            conc_mod.FORK_LOCAL_GLOBALS,
+            ("mod", "_MEMO"),
+            "test: pure per-process memo",
+        )
+        assert conc_findings(src) == []
+
+
+# ------------------------------------------------------------ CONC002 units
+
+
+class TestForkCapture:
+    def test_nested_def_closure_is_flagged(self):
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                def sweep(items):
+                    bias = 3
+
+                    def work(item):
+                        return item + bias
+
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC002"]
+
+    def test_assigned_pool_alias_is_tracked(self):
+        # Pool detection must see `pool = ProcessPoolExecutor()`
+        # assignments, not only `with` items.
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                def sweep(items):
+                    pool = ProcessPoolExecutor()
+                    pool.submit(lambda i: i, items[0])
+                    pool.shutdown()
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC002"]
+
+    def test_module_function_payload_is_clean(self):
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                def work(item):
+                    return item
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------ CONC003 units
+
+
+class TestAtomicPersistence:
+    def test_raw_os_replace_fires_anywhere(self):
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                import os
+
+                def publish(tmp, path):
+                    os.replace(tmp, path)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC003"]
+
+    def test_atomicio_module_itself_is_exempt(self):
+        source = (SRC / "util" / "atomicio.py").read_text()
+        report = analyze_paths([SRC / "util" / "atomicio.py"])
+        assert "os.replace(" in source
+        assert [f for f in report.findings if f.rule == "CONC003"] == []
+
+    def test_shared_token_in_path_expression_fires(self):
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                def save(directory, payload):
+                    with open(directory + "/MANIFEST.json", "w") as fh:
+                        fh.write(payload)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC003"]
+
+    def test_shared_token_via_local_assign_fires(self):
+        # One-level propagation: the token lives in the expression
+        # assigned to the local that open() receives.
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                def save(root, payload):
+                    target = root + "/index.json"
+                    with open(target, "w") as fh:
+                        fh.write(payload)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC003"]
+
+    def test_unshared_path_is_clean(self):
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                def export(path, text):
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                """
+            )
+        )
+        assert findings == []
+
+    def test_writer_allowlist_is_honoured(self, monkeypatch):
+        src = textwrap.dedent(
+            """
+            def write_manifest(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+            """
+        )
+        assert [f.rule for f in conc_findings(src)] == ["CONC003"]
+        monkeypatch.setitem(
+            conc_mod.WRITER_ALLOWLIST,
+            "mod.write_manifest",
+            "test: single-writer artifact",
+        )
+        assert conc_findings(src) == []
+
+
+# ------------------------------------------------------------ CONC004 units
+
+
+class TestPickleSurface:
+    def test_getstate_hook_exempts_class(self):
+        src = textwrap.dedent(
+            """
+            class RunSpec:
+                def __init__(self, names):
+                    self.names = set(names)
+            """
+        )
+        assert [f.rule for f in conc_findings(src)] == ["CONC004"]
+        hooked = textwrap.dedent(
+            """
+            class RunSpec:
+                def __init__(self, names):
+                    self.names = set(names)
+
+                def __getstate__(self):
+                    return sorted(self.names)
+            """
+        )
+        assert conc_findings(hooked) == []
+
+    def test_set_annotation_on_root_fires(self):
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class SimResult:
+                    flags: set
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC004"]
+
+    def test_tuple_fields_are_clean(self):
+        findings = conc_findings(
+            textwrap.dedent(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class RunSpec:
+                    flags: tuple = ()
+                    seed: int = 1
+                """
+            )
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------ CONC005 units
+
+
+class TestEnvReads:
+    def test_env_read_via_helper_is_reachable(self):
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                import os
+
+                def scale():
+                    return int(os.environ.get("S", "1"))
+
+                def work(item):
+                    return item * scale()
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC005"]
+
+    def test_parent_side_env_read_is_silent(self):
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                import os
+
+                def work(item):
+                    return item
+
+                def sweep(items):
+                    scale = int(os.environ.get("S", "1"))
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                    return scale
+                """
+            )
+        )
+        assert findings == []
+
+    def test_env_accessor_allowlist_is_honoured(self, monkeypatch):
+        src = POOL_PREAMBLE + textwrap.dedent(
+            """
+            import os
+
+            def work(item):
+                return item * int(os.environ.get("S", "1"))
+
+            def sweep(items):
+                with ProcessPoolExecutor() as pool:
+                    pool.map(work, items)
+            """
+        )
+        assert [f.rule for f in conc_findings(src)] == ["CONC005"]
+        monkeypatch.setitem(
+            conc_mod.ENV_ACCESSORS,
+            "mod.work",
+            "test: sanctioned accessor",
+        )
+        assert conc_findings(src) == []
+
+
+# --------------------------------------------------------- classmethod edges
+
+
+class TestClassmethodResolution:
+    def test_class_prefixed_call_folds_class_methods_in(self):
+        # Telemetry.from_env()-style dispatch: a Class.method() call
+        # must pull the whole class into the reachable set, so env
+        # reads inside *other* methods of that class are post-fork.
+        findings = conc_findings(
+            POOL_PREAMBLE
+            + textwrap.dedent(
+                """
+                import os
+
+                class Config:
+                    @classmethod
+                    def from_env(cls):
+                        return cls()
+
+                    def scale(self):
+                        return int(os.environ.get("S", "1"))
+
+                def work(item):
+                    return Config.from_env().scale() * item
+
+                def sweep(items):
+                    with ProcessPoolExecutor() as pool:
+                        pool.map(work, items)
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["CONC005"]
+
+
+# -------------------------------------------------------------- repo contract
+
+
+class TestRepoContract:
+    def test_src_repro_is_conc_clean_at_head(self):
+        report = analyze_paths([SRC], select=set(CONCURRENCY_RULES))
+        assert report.errors == []
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+
+    def test_no_unexplained_suppressions_in_src(self):
+        # CONC suppressions in src/repro are allowed only with a
+        # rationale, and currently there are none: the allowlists in
+        # the pass itself carry every sanctioned exception.
+        report = analyze_paths([SRC], select=set(CONCURRENCY_RULES))
+        conc_sup = [
+            f for f in report.suppressed if f.rule in CONCURRENCY_RULES
+        ]
+        assert conc_sup == []
+
+    def test_every_allowlist_entry_is_load_bearing(self, monkeypatch):
+        # Emptying every allowlist must surface at least one finding
+        # per allowlist, proving the entries suppress something real.
+        monkeypatch.setattr(conc_mod, "FORK_LOCAL_GLOBALS", {})
+        monkeypatch.setattr(conc_mod, "ENV_ACCESSORS", {})
+        monkeypatch.setattr(conc_mod, "WRITER_ALLOWLIST", {})
+        report = analyze_paths([SRC], select=set(CONCURRENCY_RULES))
+        fired = {f.rule for f in report.findings}
+        assert "CONC001" in fired  # FORK_LOCAL_GLOBALS entries
+        assert "CONC005" in fired  # ENV_ACCESSORS entries
+        assert "CONC003" in fired  # WRITER_ALLOWLIST entries

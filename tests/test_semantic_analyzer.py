@@ -151,7 +151,17 @@ class TestHazardFixtures:
         assert not report.errors
 
     def test_every_sem_rule_fires(self, report):
-        assert {f.rule for f in report.findings} == set(SEMANTIC_RULES)
+        # The CONC rules live in tests/fixtures/conc_hazards (see
+        # test_concurrency_analyzer.py); together the two hazard
+        # packages must exercise the full registry.
+        conc = analyze_paths([FIXTURES.parent / "conc_hazards"])
+        fired = {f.rule for f in report.findings}
+        fired |= {f.rule for f in conc.findings}
+        assert fired == set(SEMANTIC_RULES)
+        sem_only = {f.rule for f in report.findings}
+        assert sem_only == {
+            r for r in SEMANTIC_RULES if r.startswith("SEM")
+        }
 
     def test_rule_by_rule_file_mapping(self, report):
         by_file = rules_by_file(report)
