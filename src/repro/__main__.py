@@ -64,10 +64,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable cycle fast-forwarding "
                              "(env REPRO_NO_SKIP)")
     parser.add_argument("--engine", default=None,
-                        choices=("naive", "fast", "event"),
+                        choices=("naive", "fast", "event", "batched"),
                         help="simulation loop: naive cycle-by-cycle, "
-                             "fast (skip windows), or event (wake heap; "
-                             "the default) — all bit-identical "
+                             "fast (skip windows), event (wake heap; "
+                             "the default), or batched (windowed "
+                             "models) — all bit-identical "
                              "(env REPRO_ENGINE)")
     parser.add_argument("--verify-skip", action="store_true",
                         help="cross-check fast-forwarded runs against the "
@@ -516,13 +517,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--top", type=int, default=15, metavar="N",
                         help="top functions to list by tottime")
     prof_p.add_argument("--engine", default=None,
-                        choices=("naive", "fast", "event"),
+                        choices=("naive", "fast", "event", "batched"),
                         help="loop implementation to profile "
                              "(env REPRO_ENGINE)")
     prof_p.add_argument("--engines", default=None, metavar="A,B,...",
                         help="instead of profiling, time one run per "
-                             "engine and report speedups + identity "
-                             "(e.g. --engines fast,event)")
+                             "engine and report speedups vs naive + "
+                             "identity ('all' enumerates every "
+                             "registered engine)")
     prof_p.add_argument("--counters", action="store_true",
                         help="instead of cProfile, run once with "
                              "REPRO_PERF=1 and render the host "
@@ -541,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     det_p.add_argument("--no-subprocess", action="store_true",
                        help="skip the fresh-subprocess comparison")
     det_p.add_argument("--engine", default=None,
-                       choices=("naive", "fast", "event"),
+                       choices=("naive", "fast", "event", "batched"),
                        help="reference loop for the comparison "
                             "(env REPRO_ENGINE)")
 

@@ -73,10 +73,25 @@ class DetChain:
         self.digest = h
 
     def sample(self, cycle: int, state: tuple) -> None:
-        """Fold one sample: the cycle number, then every state word."""
-        self._fold(cycle)
+        """Fold one sample: the cycle number, then every state word.
+
+        The fold is inlined (rather than one :meth:`_fold` call per
+        word) because chain sampling sits on every engine loop's hot
+        path — a ~500-word snapshot is folded every interval.
+        """
+        h = self.digest
+        prime = _FNV_PRIME
+        mask = _MASK64
+        v = cycle & mask
+        for _ in range(8):
+            h = ((h ^ (v & 0xFF)) * prime) & mask
+            v >>= 8
         for value in state:
-            self._fold(value)
+            v = value & mask
+            for _ in range(8):
+                h = ((h ^ (v & 0xFF)) * prime) & mask
+                v >>= 8
+        self.digest = h
         self.samples += 1
         if self.samples % self._keep_stride == 0:
             self.checkpoints.append((cycle, self.digest))
@@ -90,6 +105,18 @@ class DetChain:
         for value in state:
             self._fold(value)
         self.checkpoints.append((cycle, self.digest))
+
+    def fold_words(self, cycle: int, state: tuple) -> None:
+        """Reference per-word fold (kept for cross-checks in tests)."""
+        self._fold(cycle)
+        for value in state:
+            self._fold(value)
+        self.samples += 1
+        if self.samples % self._keep_stride == 0:
+            self.checkpoints.append((cycle, self.digest))
+            if len(self.checkpoints) > _CHECKPOINT_CAP:
+                del self.checkpoints[::2]
+                self._keep_stride *= 2
 
 
 def snapshot(system) -> tuple:

@@ -24,7 +24,7 @@ ENV_ENABLE = "REPRO_VERIFY_EFFECTS"
 ENV_EVERY = "REPRO_VERIFY_EFFECTS_EVERY"
 
 #: Certified window-invariant hooks checked per component kind.
-CHANNEL_HOOKS = ("next_wake", "pending", "can_accept")
+CHANNEL_HOOKS = ("next_wake", "next_wake_window", "pending", "can_accept")
 CORE_HOOKS = ("skip_plan",)
 HIERARCHY_HOOKS = ("can_accept_store",)
 

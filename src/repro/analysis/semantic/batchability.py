@@ -36,17 +36,20 @@ from repro.analysis.semantic.modgraph import ClassInfo, ModuleGraph
 #: Per-cycle hooks certified on each hot simulator class.
 HOOK_TABLE: dict[str, tuple[str, ...]] = {
     "OutOfOrderCore": (
-        "step", "skip_plan", "begin_skip", "wake_skip", "flush_skip",
-        "det_state", "_do_dispatch", "_do_commit", "_do_load_issues",
+        "step", "step_window", "skip_plan", "begin_skip", "wake_skip",
+        "flush_skip", "det_state", "_do_dispatch", "_do_commit",
+        "_do_load_issues", "_do_dispatch_window", "_do_commit_window",
     ),
     "MemoryHierarchy": ("load", "store", "can_accept_store", "det_state"),
     "ChannelController": (
-        "step", "next_wake", "enqueue", "account_idle", "can_accept",
-        "pending", "det_state",
+        "step", "next_wake", "next_wake_window", "enqueue",
+        "account_idle", "account_window", "can_accept", "pending",
+        "det_state",
     ),
     "MemorySystem": (
-        "step", "step_event", "fast_forward", "settle_idle",
-        "try_enqueue", "pending", "next_wake_cpu", "wake_cpu",
+        "step", "step_event", "step_window", "fast_forward",
+        "settle_idle", "try_enqueue", "presettle", "pending",
+        "next_wake_cpu", "wake_cpu",
     ),
 }
 

@@ -69,10 +69,12 @@ ALLOWLIST: dict[tuple[str, str], str] = {
     ("OutOfOrderCore", "plan_defer"):
         "fast-forward planning hint; never read by architectural state",
     ("OutOfOrderCore", "_complete"):
-        "write-once completion timestamps; divergence surfaces in "
-        "_rob_head/committed at the next retire",
-    ("OutOfOrderCore", "_slot_by_idx"):
-        "index over _rob entries; fully derived from the ROB contents",
+        "write-once completion timestamps; divergence surfaces in the "
+        "ROB-head/committed det_state words at the next retire",
+    ("OutOfOrderCore", "_next_local"):
+        "conservative lower bound on the next _wake/_load_issue cycle; "
+        "recomputed from those schedules when stale, so it is fully "
+        "derived state (see _wake)",
     ("OutOfOrderCore", "_wake"):
         "completion schedule keyed by cycle; folded indirectly via the "
         "det_state occupancy words and the event-queue length",

@@ -96,18 +96,19 @@ PER_CYCLE_ONLY = "per-cycle-only"
 #: simulator class: the batching layer may evaluate them once per
 #: ready-window, so any effect invalidates the certificate (SEM030).
 CERTIFIED_PURE_METHODS = {
-    "det_state", "det_state_scan", "next_wake", "skip_plan",
-    "can_accept", "can_accept_store", "pending", "pre_admissible",
-    "admissible", "oldest", "peek",
+    "det_state", "det_state_scan", "next_wake", "next_wake_window",
+    "skip_plan", "can_accept", "can_accept_store", "pending",
+    "pre_admissible", "admissible", "oldest", "peek", "wake_cpu",
 }
 
 #: Per-cycle model hooks: called every busy cycle, so randomness or io
 #: inside one poisons determinism/performance on the hot path (SEM031).
 PER_CYCLE_HOOKS = {
-    "step", "step_event", "select", "load", "store", "lookup", "tick",
-    "on_command", "on_enqueue", "account_idle", "_do_dispatch",
-    "_do_commit", "_do_load_issues", "_execute", "_build_candidates",
-    "_service_refresh",
+    "step", "step_event", "step_window", "select", "load", "store",
+    "lookup", "tick", "on_command", "on_enqueue", "account_idle",
+    "account_window", "presettle", "_do_dispatch", "_do_commit",
+    "_do_load_issues", "_do_dispatch_window", "_do_commit_window",
+    "_execute", "_build_candidates", "_service_refresh",
 }
 
 #: Name-chain parts marking a call as drawing randomness.

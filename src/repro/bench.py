@@ -58,20 +58,27 @@ class BenchCell:
     """One benchmarked configuration."""
 
     name: str
-    workload: str
+    workload: str  # parallel app, or bundle name for kind="alone"
     scheduler: str
     engine: str
     cbp: int = 0  # CBP criticality-provider entries (0 = no provider)
     quick: bool = False  # part of the --quick subset
+    kind: str = "parallel"  # "parallel" (8-thread app) or "alone"
+    slot: int = 0  # bundle slot for kind="alone"
 
 
-#: The default suite: the three engines on the same baseline cell (the
-#: engine-speedup story), plus paper-relevant scheduler cells on the
-#: default engine.  ``quick`` marks the CI smoke subset.
+#: The default suite: the engines on the same baseline cell (the
+#: engine-speedup story), paper-relevant scheduler cells on the default
+#: engine, and single-application alone cells (the weighted-speedup
+#: denominators) where the batched engine's single-active-core windows
+#: engage — the memory-intensive mcf slot of the RFGI bundle is where
+#: the windowed models earn their wall-clock claim.  ``quick`` marks
+#: the CI smoke subset.
 SUITE = (
     BenchCell("fft/fr-fcfs/naive", "fft", "fr-fcfs", "naive", quick=True),
     BenchCell("fft/fr-fcfs/fast", "fft", "fr-fcfs", "fast"),
     BenchCell("fft/fr-fcfs/event", "fft", "fr-fcfs", "event", quick=True),
+    BenchCell("fft/fr-fcfs/batched", "fft", "fr-fcfs", "batched"),
     BenchCell("radix/par-bs/event", "radix", "par-bs", "event", quick=True),
     BenchCell(
         "radix/casras-crit/event", "radix", "casras-crit", "event",
@@ -79,6 +86,18 @@ SUITE = (
     ),
     BenchCell("ocean/tcm/event", "ocean", "tcm", "event"),
     BenchCell("mg/crit-casras/event", "mg", "crit-casras", "event", cbp=64),
+    BenchCell(
+        "RFGI.mcf-alone/par-bs/naive", "RFGI", "par-bs", "naive",
+        kind="alone", slot=1, quick=True,
+    ),
+    BenchCell(
+        "RFGI.mcf-alone/par-bs/event", "RFGI", "par-bs", "event",
+        kind="alone", slot=1,
+    ),
+    BenchCell(
+        "RFGI.mcf-alone/par-bs/batched", "RFGI", "par-bs", "batched",
+        kind="alone", slot=1, quick=True,
+    ),
 )
 
 
@@ -103,7 +122,7 @@ def _cells(names: str | None, quick: bool) -> list[BenchCell]:
 
 def _run_cell_once(cell: BenchCell, instructions: int, seed: int):
     from repro.config import SimScale
-    from repro.sim.runner import run_parallel_workload
+    from repro.sim.runner import run_application_alone, run_parallel_workload
 
     scale = SimScale(
         instructions_per_core=instructions,
@@ -111,6 +130,14 @@ def _run_cell_once(cell: BenchCell, instructions: int, seed: int):
         seed=seed,
     )
     spec = ("cbp", {"entries": cell.cbp}) if cell.cbp else None
+    if cell.kind == "alone":
+        return run_application_alone(
+            cell.workload,
+            cell.slot,
+            scheduler=cell.scheduler,
+            provider_spec=spec,
+            scale=scale,
+        )
     return run_parallel_workload(
         cell.workload,
         scheduler=cell.scheduler,
@@ -190,6 +217,8 @@ def run_suite(
                 "workload": cell.workload,
                 "scheduler": cell.scheduler,
                 "engine": cell.engine,
+                "kind": cell.kind,
+                "slot": cell.slot,
                 "cbp": cell.cbp,
                 "cycles": result.cycles,
                 "wall_seconds": [round(w, 6) for w in walls],

@@ -463,12 +463,15 @@ def verify_determinism(spec: RunSpec, subprocess: bool = True) -> dict:
     # explicitly-pinned engines run.
     saved = os.environ.pop("REPRO_NO_SKIP", None)
     try:
+        from repro.sim.system import ENGINES
+
         names = {
             "naive": "naive cycle-by-cycle loop",
             "fast": "fast-forwarding loop",
             "event": "event (wake-heap) loop",
+            "batched": "batched (windowed) loop",
         }
-        for engine in ("naive", "fast", "event"):
+        for engine in ENGINES:
             if engine == ref_engine:
                 continue
             comparisons.append(

@@ -8,11 +8,13 @@ Two observation modes over the same workload:
   determinism chain, engine loop), plus the top-N functions.  This is
   the measurement the event-engine work is gated on — "where do the
   cycles go" is answered by data, not assertion.
-* **engine comparison** (``--engines naive,fast,event``): run the same
-  workload once per engine *without* the profiler and report wall
-  clock, cycles/second, and speedup over the first engine listed.  The
-  runs must also agree on the determinism chain and result fingerprint,
-  so the comparison doubles as a cheap cross-engine identity check.
+* **engine comparison** (``--engines all`` or ``--engines A,B,...``):
+  run the same workload once per engine *without* the profiler and
+  report wall clock, cycles/second, and speedup over the naive
+  reference (or the first engine listed when naive is absent).
+  ``all`` enumerates every registered engine.  The runs must also
+  agree on the determinism chain and result fingerprint, so the
+  comparison doubles as a cheap cross-engine identity check.
 * **perf counters** (``--counters``): run once with ``REPRO_PERF=1``
   and render the :mod:`repro.telemetry.perfcounters` snapshot — engine
   internals (event pushes/pops, wake-heap churn, skip windows) plus
@@ -126,12 +128,23 @@ def profile_run(args) -> dict:
 
 def compare_engines(args) -> dict:
     """Run the workload once per requested engine (no profiler) and
-    cross-check det-chains/fingerprints while comparing wall clocks."""
+    cross-check det-chains/fingerprints while comparing wall clocks.
+
+    ``--engines all`` enumerates every registered loop implementation
+    (:data:`repro.sim.system.ENGINES`) instead of a hand-maintained
+    list, so new engines join the comparison automatically.  Speedups
+    are reported against the ``naive`` run when present (the reference
+    implementation), falling back to the first engine listed.
+    """
     import os
 
     from repro.sim.stats import result_fingerprint
+    from repro.sim.system import ENGINES
 
-    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    if args.engines.strip() in ("all", "*"):
+        engines = list(ENGINES)
+    else:
+        engines = [e.strip() for e in args.engines.split(",") if e.strip()]
     runs = []
     saved = os.environ.get("REPRO_ENGINE")
     try:
@@ -158,7 +171,7 @@ def compare_engines(args) -> dict:
         else:
             os.environ["REPRO_ENGINE"] = saved
 
-    reference = runs[0]
+    reference = next((r for r in runs if r["engine"] == "naive"), runs[0])
     for run in runs:
         run["speedup"] = round(
             reference["wall_seconds"] / run["wall_seconds"], 2

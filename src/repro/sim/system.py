@@ -1,15 +1,22 @@
 """System: cores + hierarchy + memory, and the global cycle loop.
 
-Three loop implementations produce bit-identical results (same
+Four loop implementations produce bit-identical results (same
 determinism chain, result fingerprint, and streamed telemetry bytes):
 
-* ``naive`` — the reference: step every component every cycle;
-* ``fast``  — scan every core each cycle but fast-forward over windows
+* ``naive``   — the reference: step every component every cycle;
+* ``fast``    — scan every core each cycle but fast-forward over windows
   where every core is quiescent and no event/DRAM edge has work;
-* ``event`` — the default: a wake-driven core that visits only cycles
+* ``event``   — the default: a wake-driven core that visits only cycles
   where something can happen, tracking skipping cores in a wake heap
   and idle DRAM channels by registered wakes (see :meth:`_run_event`
-  and DESIGN.md §5.4 for the identity argument).
+  and DESIGN.md §5.4 for the identity argument);
+* ``batched`` — the event loop plus model-level windowing: a single
+  active core steps whole ready-windows in one call
+  (:meth:`OutOfOrderCore.step_window`) and DRAM channels sleep through
+  cycles at which no command can legally issue
+  (:meth:`ChannelController.next_wake_window`), leaning on the
+  batchability certificates (see :meth:`_run_batched` and DESIGN.md
+  §5.8).
 
 Select with ``System.run(engine=...)``, ``REPRO_ENGINE``, or the
 ``--engine`` CLI flag; ``REPRO_NO_SKIP=1`` forces ``naive``.
@@ -36,6 +43,11 @@ from repro.util import hostclock
 
 # Sentinel "wake cycle" for cores quiescent until externally woken.
 _FOREVER = 1 << 62
+
+#: Every registered loop implementation, in reference-first order.  The
+#: CLI, ``verify_determinism``, and ``profile --engines all`` enumerate
+#: this tuple rather than hard-coding engine names.
+ENGINES = ("naive", "fast", "event", "batched")
 
 
 def make_provider_factory(spec):
@@ -156,9 +168,10 @@ class System:
             if not skip_cycles:
                 return "naive"
             engine = os.environ.get("REPRO_ENGINE", "").strip() or "event"
-        if engine not in ("naive", "fast", "event"):
+        if engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}: expected naive, fast, or event"
+                f"unknown engine {engine!r}: expected one of "
+                + ", ".join(ENGINES)
             )
         return engine
 
@@ -196,6 +209,8 @@ class System:
     def _dispatch(self, engine: str, max_cycles: int | None) -> SimResult:
         if engine == "event":
             return self._run_event(max_cycles)
+        if engine == "batched":
+            return self._run_batched(max_cycles)
         return self._run_impl(max_cycles, skip_cycles=(engine == "fast"))
 
     def _fold_telemetry(self, sampler, stream, limit: int) -> None:
@@ -480,6 +495,240 @@ class System:
                 # Every live core is skipping: jump to the next cycle at
                 # which anything can happen.
                 target = memory.wake_cpu(now)
+                event_cycle = events.next_cycle()
+                if event_cycle is not None and event_cycle < target:
+                    target = event_cycle
+                while wake_heap:
+                    cycle, cid = wake_heap[0]
+                    core = cores[cid]
+                    if core.done or core.skip_until != cycle:
+                        heapq.heappop(wake_heap)
+                        if perf is not None:
+                            perf.heap_stale_drops += 1
+                        continue
+                    if cycle < target:
+                        target = cycle
+                    break
+                if max_cycles is not None and target > max_cycles:
+                    target = max_cycles
+                if target > nxt:
+                    nxt = target
+            if chain is not None and next_sample < nxt:
+                state = detchain.snapshot(self)
+                while next_sample < nxt:
+                    chain.sample(next_sample, state)
+                    next_sample += every
+            if clock is not None:
+                t3 = clock()
+                perf.ns_cores += t3 - t2
+            if fold_telemetry:
+                self._fold_telemetry(sampler, stream, nxt)
+            if clock is not None:
+                perf.ns_telemetry += clock() - t3
+            self._now = now = nxt
+        for core in cores:
+            core._wake_hook = None
+        memory.settle_idle(now)
+        return self._finish_run(now, hit_cap, chain, sampler)
+
+    def _run_batched(self, max_cycles: int | None = None) -> SimResult:
+        """Windowed loop: the event engine plus model-level batching.
+
+        Two additions over :meth:`_run_event` (DESIGN.md §5.8):
+
+        * **DRAM command batching** — channels register timing-aware
+          wakes (:meth:`ChannelController.next_wake_window`): with only
+          reads queued, a channel sleeps until the first cycle a command
+          could legally issue; the skipped cycles' occupancy/criticality
+          statistics are settled in bulk (``account_window``) and their
+          det_state is provably constant, so the existing all-quiet jump
+          and fold-point machinery already handle them exactly.
+        * **Core windows** — when exactly one core is active, it advances
+          through :meth:`OutOfOrderCore.step_window` over the span in
+          which no event, DRAM edge, or parked-core wake can intervene.
+          Windowed stages replay the per-cycle stages exactly, but they
+          *do* change state cycle by cycle, so — unlike quiescent jumps —
+          a window may only end at a det-chain/sampler/stream fold point,
+          never span one: fold points read end-of-cycle state on the
+          virtual axis, and the limit computation clamps to the next one.
+
+        Only hooks certified in batchability.json are windowed (SEM032
+        pins every shortcut site to its certificate; REPRO_VERIFY_EFFECTS
+        re-checks the pure ones at runtime).
+        """
+        cores = self.cores
+        events = self.events
+        memory = self.memory
+        memory._batched = True
+        finish = self._finish_cycles
+        remaining = len(cores)
+        now = self._now
+        hit_cap = False
+        forever = _FOREVER
+        every = detchain.interval()
+        chain = detchain.DetChain(every) if every else None
+        next_sample = every
+        sampler = self.telemetry.sampler
+        stream = self.telemetry.stream
+        fold_telemetry = sampler is not None or stream is not None
+        perf = self.perf
+        clock = hostclock.now_ns if perf is not None else None
+        t0 = t1 = t2 = t3 = 0
+
+        wake_heap: list = []  # (skip_until, core_id); stale entries dropped
+        woken: list = []  # skipping cores whose wake hook fired
+
+        def on_wake(core):
+            core._wake_hook = None
+            woken.append(core)
+            if perf is not None:
+                perf.wake_hook_fires += 1
+
+        is_active = [not core.done for core in cores]
+        active = [core for core in cores if not core.done]
+        dirty = False
+
+        while remaining:
+            if max_cycles is not None and now >= max_cycles:
+                hit_cap = True
+                break
+            if clock is not None:
+                perf.visited_cycles += 1
+                t0 = clock()
+            due = events.next_cycle()
+            if due is not None and due <= now:
+                events.run_due(now)
+                if woken:
+                    for core in woken:
+                        cid = core.core_id
+                        if not is_active[cid] and not core.done:
+                            is_active[cid] = True
+                            dirty = True
+                    del woken[:]
+            if clock is not None:
+                t1 = clock()
+                perf.ns_events += t1 - t0
+            memory.step_window(now)
+            if clock is not None:
+                t2 = clock()
+                perf.ns_memory += t2 - t1
+            while wake_heap:
+                cycle, cid = wake_heap[0]
+                core = cores[cid]
+                if core.done or core.skip_until != cycle:
+                    heapq.heappop(wake_heap)  # stale: woken or re-planned
+                    if perf is not None:
+                        perf.heap_stale_drops += 1
+                    continue
+                if cycle > now:
+                    break
+                heapq.heappop(wake_heap)
+                core._wake_hook = None
+                if not is_active[cid]:
+                    is_active[cid] = True
+                    dirty = True
+            if dirty:
+                active = [core for core in cores if is_active[core.core_id]]
+                dirty = False
+            nxt = now + 1
+            if len(active) == 1:
+                # Single active core: find the span in which nothing else
+                # can intervene and let the core advance through it.
+                core = active[0]
+                target = memory.wake_cpu(now)
+                event_cycle = events.next_cycle()
+                if event_cycle is not None and event_cycle < target:
+                    target = event_cycle
+                while wake_heap:
+                    cycle, cid = wake_heap[0]
+                    other = cores[cid]
+                    if other.done or other.skip_until != cycle:
+                        heapq.heappop(wake_heap)
+                        if perf is not None:
+                            perf.heap_stale_drops += 1
+                        continue
+                    if cycle < target:
+                        target = cycle
+                    break
+                if chain is not None and next_sample + 1 < target:
+                    target = next_sample + 1
+                if sampler is not None and sampler.next_sample + 1 < target:
+                    target = sampler.next_sample + 1
+                if stream is not None and stream.next_flush + 1 < target:
+                    target = stream.next_flush + 1
+                if max_cycles is not None and target > max_cycles:
+                    target = max_cycles
+                if core._quiet_deltas is not None:
+                    core.flush_skip(now)
+                if target > nxt:
+                    # The span is sound because the DRAM side publishes
+                    # no CPU-visible edge before ``target``:
+                    # repro-batch: cert=MemorySystem.wake_cpu
+                    nxt = now + core.step_window(now, target)
+                else:
+                    core.step(now)
+                if core.done:
+                    finish[core.core_id] = nxt
+                    remaining -= 1
+                    is_active[core.core_id] = False
+                    dirty = True
+                elif core.plan_defer:
+                    core.plan_defer -= 1
+                else:
+                    plan = core.skip_plan(nxt - 1)
+                    if plan is None:
+                        core.plan_defer = 3
+                    else:
+                        core.begin_skip(plan, nxt - 1, forever)
+                        if perf is not None:
+                            perf.note_skip(core.skip_until, nxt - 1)
+                        is_active[core.core_id] = False
+                        dirty = True
+                        core._wake_hook = on_wake
+                        if core.skip_until < forever:
+                            heapq.heappush(
+                                wake_heap, (core.skip_until, core.core_id)
+                            )
+                            if perf is not None:
+                                perf.heap_pushes += 1
+            else:
+                for core in active:
+                    if core._quiet_deltas is not None:
+                        core.flush_skip(now)
+                    core.step(now)
+                    if core.done:
+                        finish[core.core_id] = now + 1
+                        remaining -= 1
+                        is_active[core.core_id] = False
+                        dirty = True
+                    elif core.plan_defer:
+                        core.plan_defer -= 1
+                    else:
+                        plan = core.skip_plan(now)
+                        if plan is None:
+                            core.plan_defer = 3
+                        else:
+                            core.begin_skip(plan, now, forever)
+                            if perf is not None:
+                                perf.note_skip(core.skip_until, now)
+                            is_active[core.core_id] = False
+                            dirty = True
+                            core._wake_hook = on_wake
+                            if core.skip_until < forever:
+                                heapq.heappush(
+                                    wake_heap, (core.skip_until, core.core_id)
+                                )
+                                if perf is not None:
+                                    perf.heap_pushes += 1
+            if dirty:
+                active = [core for core in cores if is_active[core.core_id]]
+                dirty = False
+            if not active and remaining:
+                # Every live core is skipping: jump to the next cycle at
+                # which anything can happen.  DRAM gap-skipping rides on
+                # this jump — windowed channel wakes land in _chan_wake,
+                # so wake_cpu already reflects them.
+                target = memory.wake_cpu(nxt - 1)
                 event_cycle = events.next_cycle()
                 if event_cycle is not None and event_cycle < target:
                     target = event_cycle

@@ -59,6 +59,18 @@ class TestDetChain:
         chain.sample(16, (-1, 1 << 80, 0))
         assert 0 < chain.digest < 1 << 64
 
+    def test_inlined_sample_matches_per_word_fold(self):
+        """The hot-path sample (inlined fold) must stay bit-identical to
+        the per-word _fold reference, including edge-case words."""
+        a, b = DetChain(16), DetChain(16)
+        words = (0, 1, -1, 255, 256, 1 << 63, (1 << 64) - 1, 1 << 80, -42)
+        for cycle in range(16, 96, 16):
+            a.sample(cycle, words)
+            b.fold_words(cycle, words)
+        assert a.digest == b.digest
+        assert a.checkpoints == b.checkpoints
+        assert a.samples == b.samples
+
     def test_checkpoints_stay_bounded(self):
         chain = DetChain(1)
         for cycle in range(3 * _CHECKPOINT_CAP):

@@ -1,6 +1,6 @@
-"""Cross-engine differential oracle: naive vs fast vs event loops.
+"""Cross-engine differential oracle: naive vs fast vs event vs batched.
 
-The three loop implementations in :mod:`repro.sim.system` must be
+The four loop implementations in :mod:`repro.sim.system` must be
 bit-identical — same determinism chain, same result fingerprint, and
 byte-identical streamed telemetry segments on disk.  This module holds
 the event engine to that for every registered scheduler, and pins the
@@ -26,7 +26,7 @@ from repro.workloads.parallel import parallel_traces
 
 SCALE = SimScale(instructions_per_core=400, warmup_instructions=0, seed=11)
 
-ENGINES = ("naive", "fast", "event")
+ENGINES = ("naive", "fast", "event", "batched")
 
 
 def _provider_for(scheduler: str):
@@ -104,7 +104,7 @@ class TestMaxCyclesCap:
         assert reference.hit_max_cycles, "cap too high to exercise the break"
         assert reference.cycles == self.CAP
         assert reference.sample_cycles, "sampler produced nothing under cap"
-        for engine in ("fast", "event"):
+        for engine in ("fast", "event", "batched"):
             other = results[engine]
             assert other.hit_max_cycles
             assert other.det_chain == reference.det_chain, engine

@@ -287,7 +287,9 @@ class TestRepoContract:
 
         ``next_wake`` carries a window-invariance certificate; bumping
         the (det_state-covered, so SEM010-silent) ``_seq`` counter
-        inside it must trip SEM030 and nothing else.
+        inside it must trip SEM030 — both on ``next_wake`` itself and,
+        via interprocedural propagation, on ``next_wake_window`` (also
+        certified pure), whose slow path calls it — and nothing else.
         """
         tree = tmp_path / "repro"
         shutil.copytree(SRC, tree)
@@ -301,8 +303,12 @@ class TestRepoContract:
         )
         controller.write_text(source)
         report = analyze_paths([tree.parent])
-        assert [f.rule for f in report.findings] == ["SEM030"]
-        assert "_seq" in report.findings[0].message
+        assert [f.rule for f in report.findings] == ["SEM030", "SEM030"]
+        flagged = {f.message.split("(")[0] for f in report.findings}
+        for finding in report.findings:
+            assert "_seq" in finding.message
+        assert any("next_wake_window" in f.message for f in report.findings)
+        assert len(flagged) == 2
 
     def test_injected_field_becomes_clean_when_registered(self, tmp_path):
         """Folding the injected field into det_state() clears the finding."""
